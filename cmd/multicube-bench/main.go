@@ -1,0 +1,74 @@
+// Command multicube-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	multicube-bench [-experiment all|fig2|fig2sim|fig3|fig4|tradeoff|latency|
+//	                 ops|scale|multi|sync|dims|snarf|mltsize|falseshare|arbitration] [-csv]
+//
+// Each experiment prints a table: figures have one row per x value and
+// one column per curve, matching how the paper's plots read. See
+// EXPERIMENTS.md for the paper-versus-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multicube/internal/experiments"
+	"multicube/internal/stats"
+)
+
+type renderable interface {
+	Render() string
+}
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	runs := []struct {
+		name string
+		make func() renderable
+	}{
+		{"fig2", func() renderable { return experiments.Figure2().Table() }},
+		{"fig2sim", func() renderable { return experiments.Figure2Sim(nil, 0).Table() }},
+		{"fig3", func() renderable { return experiments.Figure3().Table() }},
+		{"fig4", func() renderable { return experiments.Figure4().Table() }},
+		{"tradeoff", func() renderable { return experiments.BlockTradeoff().Table() }},
+		{"latency", func() renderable { return experiments.Latency().Table() }},
+		{"ops", func() renderable { return experiments.Ops() }},
+		{"scale", func() renderable { return experiments.Scale() }},
+		{"multi", func() renderable { return experiments.MultiVsMulticube(0) }},
+		{"sync", func() renderable { return experiments.Sync(0) }},
+		{"dims", func() renderable { return experiments.Dimensions().Table() }},
+		{"snarf", func() renderable { return experiments.Snarf(0) }},
+		{"mltsize", func() renderable { return experiments.MLTSize(0) }},
+		{"falseshare", func() renderable { return experiments.FalseSharing(0) }},
+		{"arbitration", func() renderable { return experiments.Arbitration(0) }},
+		{"syncscale", func() renderable { return experiments.SyncScaling(0) }},
+	}
+
+	found := false
+	for _, r := range runs {
+		if *experiment != "all" && *experiment != r.name {
+			continue
+		}
+		found = true
+		out := r.make()
+		if *csv {
+			if t, ok := out.(*stats.Table); ok {
+				fmt.Print(t.CSV())
+				fmt.Println()
+				continue
+			}
+		}
+		fmt.Println(out.Render())
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

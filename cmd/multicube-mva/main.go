@@ -1,0 +1,73 @@
+// Command multicube-mva evaluates the analytical (mean-value) model at a
+// single parameter point, or sweeps the request rate.
+//
+// Usage:
+//
+//	multicube-mva [-n 32] [-block 16] [-rate 25] [-punmod 0.8] [-pinv 0.2]
+//	              [-cut-through] [-word-first] [-transfer 0] [-sweep]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multicube/internal/mva"
+	"multicube/internal/stats"
+)
+
+func main() {
+	n := flag.Int("n", 32, "processors per bus (machine is n×n)")
+	block := flag.Int("block", 16, "coherency block size in bus words")
+	rate := flag.Float64("rate", 25, "bus requests per ms per processor")
+	punmod := flag.Float64("punmod", 0.8, "P(requested line unmodified)")
+	pinv := flag.Float64("pinv", 0.2, "P(invalidating write | unmodified)")
+	cut := flag.Bool("cut-through", false, "model cut-through forwarding")
+	wordFirst := flag.Bool("word-first", false, "model requested-word-first")
+	transfer := flag.Int("transfer", 0, "transfer block words (0 = coherency block)")
+	sweep := flag.Bool("sweep", false, "sweep the request rate instead of one point")
+	flag.Parse()
+
+	p := mva.Defaults(*n)
+	p.BlockWords = *block
+	p.RequestRate = *rate
+	p.PUnmodified = *punmod
+	p.PInvalidate = *pinv
+	p.CutThrough = *cut
+	p.WordFirst = *wordFirst
+	p.TransferWords = *transfer
+
+	if *sweep {
+		t := stats.NewTable(
+			fmt.Sprintf("MVA sweep: n=%d (N=%d), block=%d", *n, *n**n, *block),
+			"req/ms", "efficiency", "response ns", "row util", "col util", "mem util")
+		for _, r := range mva.RateSweep() {
+			p.RequestRate = r
+			res, err := mva.Solve(p)
+			if err != nil {
+				fatal(err)
+			}
+			t.AddRow(r, res.Efficiency, res.Response, res.RowUtil, res.ColUtil, res.MemUtil)
+		}
+		fmt.Print(t.Render())
+		return
+	}
+
+	res, err := mva.Solve(p)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Wisconsin Multicube %d×%d (%d processors), %d-word blocks, %.0f req/ms\n",
+		*n, *n, *n**n, *block, *rate)
+	fmt.Printf("efficiency      %.4f\n", res.Efficiency)
+	fmt.Printf("response        %.0f ns\n", res.Response)
+	fmt.Printf("row bus util    %.3f\n", res.RowUtil)
+	fmt.Printf("column bus util %.3f\n", res.ColUtil)
+	fmt.Printf("memory util     %.3f\n", res.MemUtil)
+	fmt.Printf("throughput      %.0f txn/s\n", res.Throughput)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "multicube-mva:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package multicube is a complete Go reproduction of "The Wisconsin
+// Multicube: A New Large-Scale Cache-Coherent Multiprocessor" (Goodman &
+// Woest, ISCA 1988): a deterministic simulator of the grid-of-buses
+// machine and its snooping cache consistency protocol, the single-bus
+// multi baseline, the Section 4 synchronization primitives, the
+// analytical model behind the paper's Figures 2–4, and a benchmark
+// harness regenerating every table and figure of the evaluation.
+//
+// The library lives under internal/; start with internal/core (the
+// assembled machine and its programming model), DESIGN.md (system
+// inventory and experiment index) and EXPERIMENTS.md (paper-versus-
+// measured results). The root package holds the benchmark entry points.
+package multicube

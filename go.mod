@@ -1,0 +1,3 @@
+module multicube
+
+go 1.22

@@ -1,0 +1,188 @@
+// Package bus models the shared buses of the Multicube: broadcast media
+// with arbitration, occupancy timing, and snooping delivery to every
+// attached agent.
+//
+// A bus operation ("packet") is granted the bus, holds it for its
+// occupancy time (an address-and-command operation is short; a data
+// transfer holds the bus for the full block), and is then delivered to all
+// attached agents. Delivery happens in two phases mirroring the hardware:
+//
+//  1. Probe: every agent observes the packet and may assert shared wires
+//     on it. This models the special row-bus "modified line" — a wired-OR
+//     signal supplied a fixed number of bus cycles after a request is
+//     placed on the bus, by the (at most one) node whose modified line
+//     table holds the requested line.
+//  2. Snoop: every agent takes its protocol actions, knowing the final
+//     state of the shared wires.
+//
+// Both phases run at the end of the occupancy interval, in deterministic
+// attach order. Actions that model device latency (a snooping-cache or
+// memory access before a reply) are scheduled by the agents themselves.
+package bus
+
+import (
+	"fmt"
+
+	"multicube/internal/sim"
+)
+
+// Packet is one bus operation. Implementations carry the protocol payload;
+// the bus needs only the occupancy time.
+type Packet interface {
+	// Occupancy is how long the operation holds the bus.
+	Occupancy() sim.Time
+}
+
+// Agent is a device attached to a bus: a snooping cache controller or a
+// main memory module.
+type Agent interface {
+	// Probe lets the agent assert shared signal lines on the packet.
+	// It must not issue bus requests or mutate protocol state.
+	Probe(b *Bus, pkt Packet)
+	// Snoop delivers the packet for protocol action.
+	Snoop(b *Bus, pkt Packet)
+}
+
+// Arbitration selects among simultaneously waiting requesters.
+type Arbitration int
+
+const (
+	// FIFO grants strictly in request order.
+	FIFO Arbitration = iota
+	// RoundRobin grants the next waiting agent after the last grantee,
+	// cycling by attach index; requests from one agent stay ordered.
+	RoundRobin
+)
+
+// Stats aggregates bus activity for utilization and latency reporting.
+type Stats struct {
+	Ops       uint64   // operations completed
+	BusyTime  sim.Time // total time the bus was held
+	WaitTime  sim.Time // total time operations waited for a grant
+	MaxQueued int      // high-water mark of waiting operations
+}
+
+type pending struct {
+	src      int
+	pkt      Packet
+	enqueued sim.Time
+}
+
+// Bus is one row or column bus.
+type Bus struct {
+	k      *sim.Kernel
+	name   string
+	arb    Arbitration
+	agents []Agent
+
+	fifo   []pending   // FIFO mode
+	perSrc [][]pending // RoundRobin mode, indexed by attach index
+	queued int
+	busy   bool
+	last   int // last granted attach index (RoundRobin)
+
+	stats Stats
+}
+
+// New returns an idle bus using the given arbitration policy.
+func New(k *sim.Kernel, name string, arb Arbitration) *Bus {
+	return &Bus{k: k, name: name, arb: arb, last: -1}
+}
+
+// Name returns the diagnostic name.
+func (b *Bus) Name() string { return b.name }
+
+// Stats returns a snapshot of the counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Agents returns the number of attached agents.
+func (b *Bus) Agents() int { return len(b.agents) }
+
+// Attach connects an agent and returns its attach index, which is also its
+// arbitration identity.
+func (b *Bus) Attach(a Agent) int {
+	b.agents = append(b.agents, a)
+	b.perSrc = append(b.perSrc, nil)
+	return len(b.agents) - 1
+}
+
+// Request enqueues a bus operation from the agent with attach index src.
+// The operation is granted according to the arbitration policy, holds the
+// bus for pkt.Occupancy(), and is then delivered to every agent.
+func (b *Bus) Request(src int, pkt Packet) {
+	if src < 0 || src >= len(b.agents) {
+		panic(fmt.Sprintf("bus %s: request from unknown agent %d", b.name, src))
+	}
+	p := pending{src: src, pkt: pkt, enqueued: b.k.Now()}
+	if b.arb == FIFO {
+		b.fifo = append(b.fifo, p)
+	} else {
+		b.perSrc[src] = append(b.perSrc[src], p)
+	}
+	b.queued++
+	if b.queued > b.stats.MaxQueued {
+		b.stats.MaxQueued = b.queued
+	}
+	if !b.busy {
+		b.grant()
+	}
+}
+
+// next pops the operation to grant, per policy.
+func (b *Bus) next() (pending, bool) {
+	if b.queued == 0 {
+		return pending{}, false
+	}
+	if b.arb == FIFO {
+		p := b.fifo[0]
+		b.fifo = b.fifo[1:]
+		b.queued--
+		return p, true
+	}
+	n := len(b.agents)
+	for i := 1; i <= n; i++ {
+		src := (b.last + i) % n
+		if len(b.perSrc[src]) > 0 {
+			p := b.perSrc[src][0]
+			b.perSrc[src] = b.perSrc[src][1:]
+			b.queued--
+			b.last = src
+			return p, true
+		}
+	}
+	return pending{}, false
+}
+
+func (b *Bus) grant() {
+	p, ok := b.next()
+	if !ok {
+		return
+	}
+	b.busy = true
+	b.stats.WaitTime += b.k.Now() - p.enqueued
+	occ := p.pkt.Occupancy()
+	b.stats.BusyTime += occ
+	b.k.After(occ, func() {
+		b.stats.Ops++
+		// Phase 1: shared signal lines settle.
+		for _, a := range b.agents {
+			a.Probe(b, p.pkt)
+		}
+		// Phase 2: protocol actions. Agents may issue new Requests here;
+		// the bus is still formally held, so they queue behind us.
+		for _, a := range b.agents {
+			a.Snoop(b, p.pkt)
+		}
+		b.busy = false
+		b.grant()
+	})
+}
+
+// Utilization returns BusyTime as a fraction of elapsed, guarding against
+// a zero-length run.
+func (b *Bus) Utilization(elapsed sim.Time) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(b.stats.BusyTime) / float64(elapsed)
+}

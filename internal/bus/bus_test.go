@@ -1,0 +1,229 @@
+package bus
+
+import (
+	"testing"
+
+	"multicube/internal/sim"
+)
+
+type testPkt struct {
+	id  int
+	occ sim.Time
+}
+
+func (p testPkt) Occupancy() sim.Time { return p.occ }
+
+// recorder is an agent that logs every snooped packet with its time.
+type recorder struct {
+	snoops []snooped
+	probes int
+}
+
+type snooped struct {
+	id int
+	at sim.Time
+}
+
+func (r *recorder) Probe(b *Bus, pkt Packet) { r.probes++ }
+func (r *recorder) Snoop(b *Bus, pkt Packet) {
+	r.snoops = append(r.snoops, snooped{pkt.(testPkt).id, b.k.Now()})
+}
+
+func TestBroadcastReachesAllAgents(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, "row0", FIFO)
+	agents := []*recorder{{}, {}, {}}
+	var ids []int
+	for _, a := range agents {
+		ids = append(ids, b.Attach(a))
+	}
+	if ids[0] != 0 || ids[2] != 2 {
+		t.Fatalf("attach indices %v", ids)
+	}
+	b.Request(0, testPkt{id: 7, occ: 100})
+	k.Run()
+	for i, a := range agents {
+		if len(a.snoops) != 1 || a.snoops[0].id != 7 {
+			t.Errorf("agent %d snoops = %v", i, a.snoops)
+		}
+		if a.probes != 1 {
+			t.Errorf("agent %d probes = %d, want 1", i, a.probes)
+		}
+	}
+}
+
+func TestDeliveryAtEndOfOccupancy(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, "b", FIFO)
+	r := &recorder{}
+	b.Attach(r)
+	b.Request(0, testPkt{id: 1, occ: 250})
+	k.Run()
+	if r.snoops[0].at != 250 {
+		t.Fatalf("delivered at %v, want 250", r.snoops[0].at)
+	}
+}
+
+func TestFIFOOrderAndSerialization(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, "b", FIFO)
+	r := &recorder{}
+	b.Attach(r)
+	b.Attach(&recorder{})
+	// Two ops requested at time 0: they must serialize back to back.
+	b.Request(0, testPkt{id: 1, occ: 100})
+	b.Request(1, testPkt{id: 2, occ: 50})
+	k.Run()
+	if len(r.snoops) != 2 {
+		t.Fatalf("snooped %d ops, want 2", len(r.snoops))
+	}
+	if r.snoops[0].id != 1 || r.snoops[0].at != 100 {
+		t.Errorf("first = %+v, want id 1 at 100", r.snoops[0])
+	}
+	if r.snoops[1].id != 2 || r.snoops[1].at != 150 {
+		t.Errorf("second = %+v, want id 2 at 150", r.snoops[1])
+	}
+	s := b.Stats()
+	if s.Ops != 2 || s.BusyTime != 150 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.WaitTime != 100 { // op 2 waited out op 1's occupancy
+		t.Errorf("wait = %v, want 100", s.WaitTime)
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, "b", RoundRobin)
+	r := &recorder{}
+	b.Attach(r) // agent 0
+	b.Attach(&recorder{})
+	b.Attach(&recorder{})
+	// Agent 0 floods; agents 1 and 2 each want one op. Round-robin must
+	// interleave rather than serve agent 0's backlog first.
+	b.Request(0, testPkt{id: 10, occ: 10})
+	b.Request(0, testPkt{id: 11, occ: 10})
+	b.Request(0, testPkt{id: 12, occ: 10})
+	b.Request(1, testPkt{id: 20, occ: 10})
+	b.Request(2, testPkt{id: 30, occ: 10})
+	k.Run()
+	var order []int
+	for _, s := range r.snoops {
+		order = append(order, s.id)
+	}
+	want := []int{10, 20, 30, 11, 12}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSnoopMayIssueFollowUp(t *testing.T) {
+	// An agent that reacts to a request by issuing a reply on the same
+	// bus: the reply must queue behind the request and complete later.
+	k := sim.NewKernel()
+	b := New(k, "b", FIFO)
+	r := &recorder{}
+	responder := &respondingAgent{}
+	responder.id = b.Attach(responder)
+	b.Attach(r)
+	responder.bus = b
+	b.Request(responder.id, testPkt{id: 1, occ: 100})
+	k.Run()
+	if len(r.snoops) != 2 {
+		t.Fatalf("snooped %d, want request+reply", len(r.snoops))
+	}
+	if r.snoops[1].id != 99 || r.snoops[1].at != 200 {
+		t.Errorf("reply = %+v, want id 99 at 200", r.snoops[1])
+	}
+}
+
+type respondingAgent struct {
+	bus     *Bus
+	id      int
+	replied bool
+}
+
+func (a *respondingAgent) Probe(b *Bus, pkt Packet) {}
+func (a *respondingAgent) Snoop(b *Bus, pkt Packet) {
+	if pkt.(testPkt).id == 1 && !a.replied {
+		a.replied = true
+		a.bus.Request(a.id, testPkt{id: 99, occ: 100})
+	}
+}
+
+// sharedWire models the modified-signal line: one agent asserts during
+// Probe; all agents observe the final value during Snoop.
+type wirePkt struct {
+	occ      sim.Time
+	modified bool
+}
+
+func (p *wirePkt) Occupancy() sim.Time { return p.occ }
+
+type asserter struct{}
+
+func (asserter) Probe(b *Bus, pkt Packet) { pkt.(*wirePkt).modified = true }
+func (asserter) Snoop(b *Bus, pkt Packet) {}
+
+type observer struct{ saw bool }
+
+func (o *observer) Probe(b *Bus, pkt Packet) {}
+func (o *observer) Snoop(b *Bus, pkt Packet) { o.saw = pkt.(*wirePkt).modified }
+
+func TestProbePhasePrecedesSnoop(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, "b", FIFO)
+	o := &observer{} // attached first, still sees the wire asserted
+	b.Attach(o)
+	b.Attach(asserter{})
+	b.Request(0, &wirePkt{occ: 50})
+	k.Run()
+	if !o.saw {
+		t.Fatal("observer did not see wire asserted by later-attached agent")
+	}
+}
+
+func TestRequestFromUnknownAgentPanics(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, "b", FIFO)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown agent")
+		}
+	}()
+	b.Request(3, testPkt{occ: 1})
+}
+
+func TestUtilization(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, "b", FIFO)
+	b.Attach(&recorder{})
+	b.Request(0, testPkt{id: 1, occ: 100})
+	k.Run()
+	k.RunUntil(400)
+	if got := b.Utilization(k.Now()); got != 0.25 {
+		t.Errorf("utilization = %g, want 0.25", got)
+	}
+	if b.Utilization(0) != 0 {
+		t.Error("zero elapsed should give zero utilization")
+	}
+}
+
+func TestMaxQueuedHighWater(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, "b", FIFO)
+	b.Attach(&recorder{})
+	for i := 0; i < 5; i++ {
+		b.Request(0, testPkt{id: i, occ: 10})
+	}
+	k.Run()
+	// First request is granted immediately, so at most 4 waited at once...
+	// but the high-water mark counts queued-before-grant too: the first
+	// request is dequeued synchronously, leaving 4 queued after the fifth
+	// arrives.
+	if got := b.Stats().MaxQueued; got != 4 {
+		t.Errorf("MaxQueued = %d, want 4", got)
+	}
+}

@@ -1,0 +1,83 @@
+package cache
+
+import "testing"
+
+func newL1(t *testing.T) *ProcessorCache {
+	t.Helper()
+	p, err := NewProcessorCache(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestL1Validation(t *testing.T) {
+	if _, err := NewProcessorCache(4, 2, 0); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if _, err := NewProcessorCache(5, 2, 2); err == nil {
+		t.Error("non-divisible capacity accepted")
+	}
+}
+
+func TestL1FillAndRead(t *testing.T) {
+	p := newL1(t)
+	if _, ok := p.Read(1, 0); ok {
+		t.Fatal("hit in empty L1")
+	}
+	p.Fill(1, []uint64{10, 20})
+	v, ok := p.Read(1, 1)
+	if !ok || v != 20 {
+		t.Fatalf("Read = (%d,%v), want (20,true)", v, ok)
+	}
+	if !p.Contains(1) {
+		t.Error("Contains(1) = false")
+	}
+}
+
+func TestL1WriteThroughUpdatesResidentOnly(t *testing.T) {
+	p := newL1(t)
+	p.Fill(1, []uint64{10, 20})
+	p.WriteThrough(1, 0, 99)
+	if v, _ := p.Read(1, 0); v != 99 {
+		t.Errorf("resident write-through: read %d, want 99", v)
+	}
+	p.WriteThrough(7, 0, 5) // absent line: no allocate on write
+	if p.Contains(7) {
+		t.Error("write-through allocated an absent line")
+	}
+}
+
+func TestL1Invalidate(t *testing.T) {
+	p := newL1(t)
+	p.Fill(3, []uint64{1, 2})
+	if !p.Invalidate(3) {
+		t.Fatal("Invalidate returned false")
+	}
+	if p.Contains(3) {
+		t.Error("line resident after invalidate")
+	}
+	if p.Invalidate(3) {
+		t.Error("second invalidate returned true")
+	}
+}
+
+func TestL1CapacityAndLines(t *testing.T) {
+	p := newL1(t)
+	for l := Line(0); l < 10; l++ {
+		p.Fill(l, nil)
+	}
+	lines := p.Lines()
+	if len(lines) > 4 {
+		t.Fatalf("L1 holds %d lines, capacity 4", len(lines))
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] >= lines[i] {
+			t.Fatalf("Lines() not sorted: %v", lines)
+		}
+	}
+	s := p.Stats()
+	if s.Inserts != 10 {
+		t.Errorf("inserts = %d, want 10", s.Inserts)
+	}
+}

@@ -1,0 +1,158 @@
+package coherence
+
+import (
+	"fmt"
+
+	"multicube/internal/cache"
+	"multicube/internal/memory"
+	"multicube/internal/mlt"
+	"multicube/internal/topology"
+)
+
+// CheckInvariants walks every cache, modified line table and memory
+// module and returns all violations of the paper's global-state
+// invariants. It is meaningful only at quiescence — when no bus
+// operations are in flight and no processor requests are outstanding —
+// since the protocol admits transition periods where the global state is
+// indeterminate (Section 3, footnote 3).
+//
+// The invariants checked:
+//
+//  1. A line is held modified (or reserved) by at most one cache
+//     system-wide, and a modified line coexists with no shared copies.
+//  2. A line is modified somewhere exactly when its memory valid bit is
+//     clear.
+//  3. Every shared copy equals the memory contents.
+//  4. All modified line tables within a column are identical, and their
+//     contents are exactly the lines held modified in that column.
+//  5. No reserved copies or pinned entries remain (a reserved copy at
+//     quiescence means a SYNC handoff was lost).
+func CheckInvariants(s *System) []error {
+	var errs []error
+	n := s.cfg.N
+
+	type holder struct {
+		id    topology.Coord
+		state cache.State
+	}
+	holders := make(map[cache.Line][]holder)
+	sharers := make(map[cache.Line][]topology.Coord)
+
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			nd := s.nodes[r][c]
+			if nd.pend != nil {
+				errs = append(errs, fmt.Errorf("node %v has outstanding %v(%d): not quiescent",
+					nd.id, nd.pend.txn, nd.pend.line))
+			}
+			if nd.wbCont != nil {
+				errs = append(errs, fmt.Errorf("node %v has outstanding writeback: not quiescent", nd.id))
+			}
+			nd.l2.ForEach(func(e *cache.Entry) {
+				switch e.State {
+				case Modified:
+					holders[e.Line] = append(holders[e.Line], holder{nd.id, e.State})
+				case Reserved:
+					errs = append(errs, fmt.Errorf("node %v holds line %d reserved at quiescence", nd.id, e.Line))
+					holders[e.Line] = append(holders[e.Line], holder{nd.id, e.State})
+				case Shared:
+					sharers[e.Line] = append(sharers[e.Line], nd.id)
+				}
+				if e.Pinned && e.State != Modified {
+					// A modified pinned line is a held (or queued-behind)
+					// lock, which is legal at quiescence; anything else
+					// pinned is a leak.
+					errs = append(errs, fmt.Errorf("node %v line %d pinned in state %s at quiescence",
+						nd.id, e.Line, StateName(e.State)))
+				}
+			})
+		}
+	}
+
+	// 1: single holder; no sharers alongside a modified copy.
+	for line, hs := range holders {
+		if len(hs) > 1 {
+			errs = append(errs, fmt.Errorf("line %d modified in %d caches: %v and %v",
+				line, len(hs), hs[0].id, hs[1].id))
+		}
+		if sh := sharers[line]; len(sh) > 0 {
+			errs = append(errs, fmt.Errorf("line %d modified at %v but shared at %v", line, hs[0].id, sh))
+		}
+	}
+
+	// 2 & 3: memory valid bits and shared-copy contents.
+	checkLine := func(line cache.Line) {
+		mem := s.mems[s.homeColumn(line)]
+		_, isMod := holders[line]
+		if isMod == mem.store.Valid(memory.Line(line)) {
+			errs = append(errs, fmt.Errorf("line %d: modified=%v but memory valid=%v",
+				line, isMod, mem.store.Valid(memory.Line(line))))
+		}
+		if !isMod {
+			want := mem.store.Peek(memory.Line(line))
+			for _, id := range sharers[line] {
+				e, ok := s.Node(id).l2.Lookup(line)
+				if !ok {
+					continue
+				}
+				for i := range want {
+					if e.Data[i] != want[i] {
+						errs = append(errs, fmt.Errorf("line %d word %d: node %v has %d, memory has %d",
+							line, i, id, e.Data[i], want[i]))
+						break
+					}
+				}
+			}
+		}
+	}
+	seen := make(map[cache.Line]bool)
+	for line := range holders {
+		if !seen[line] {
+			seen[line] = true
+			checkLine(line)
+		}
+	}
+	for line := range sharers {
+		if !seen[line] {
+			seen[line] = true
+			checkLine(line)
+		}
+	}
+
+	// 4: MLT column consistency and exactness.
+	for c := 0; c < n; c++ {
+		ref := s.nodes[0][c].table
+		for r := 1; r < n; r++ {
+			if !mlt.Equal(ref, s.nodes[r][c].table) {
+				errs = append(errs, fmt.Errorf("column %d: MLTs of (0,%d) and (%d,%d) differ: %v vs %v",
+					c, c, r, c, ref.Lines(), s.nodes[r][c].table.Lines()))
+			}
+		}
+		want := make(map[mlt.Line]bool)
+		for _, hs := range holders {
+			_ = hs
+		}
+		for line, hs := range holders {
+			for _, h := range hs {
+				if h.id.Col == c {
+					want[mlt.Line(line)] = true
+				}
+			}
+		}
+		got := make(map[mlt.Line]bool)
+		for _, l := range ref.Lines() {
+			got[l] = true
+		}
+		for l := range want {
+			if !got[l] {
+				errs = append(errs, fmt.Errorf("column %d: line %d modified in column but missing from MLT", c, l))
+			}
+		}
+		for l := range got {
+			if !want[l] {
+				errs = append(errs, fmt.Errorf("column %d: MLT entry for line %d with no modified copy in column", c, l))
+			}
+		}
+	}
+	return errs
+}

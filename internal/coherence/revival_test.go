@@ -1,0 +1,133 @@
+package coherence
+
+import (
+	"testing"
+
+	"multicube/internal/cache"
+	"multicube/internal/mlt"
+	"multicube/internal/topology"
+)
+
+// These tests pin the two request-integrity mechanisms of DESIGN.md §5.6d:
+// the claim on the row-bus modified signal (at most one controller
+// forwards a request, even with transiently duplicated table entries) and
+// the revival of a request whose REMOVE succeeded on a column where no
+// controller could answer.
+
+func TestDuplicateTableEntriesForwardOnce(t *testing.T) {
+	k, s := testSystem(t, 4)
+	line := cache.Line(2)
+	holder := s.Node(at(0, 1))
+	do(t, k, func(done func(Result)) { holder.Write(line, done) })
+	holder.CacheEntry(line).Data[0] = 5
+
+	// Manufacture the transient inconsistency: a stale duplicate entry in
+	// a second column (as exists for an instant while a stale entry's
+	// REMOVE is in flight).
+	for r := 0; r < 4; r++ {
+		s.Node(at(r, 3)).Table().Insert(mlt.Line(line))
+	}
+
+	forwards := 0
+	s.OpLog = func(dim Dim, issuer topology.Coord, op *Op) {
+		if op.Line == line && dim == Col && op.Flags.Has(REQUEST|REMOVE) {
+			forwards++
+		}
+	}
+	reader := s.Node(at(2, 2))
+	completed := false
+	reader.Read(line, func(Result) { completed = true })
+	k.Run()
+	if !completed {
+		t.Fatal("read did not complete")
+	}
+	// The first request must have been forwarded exactly once despite two
+	// asserting columns; the stale entry is cleaned up by whichever
+	// request's REMOVE reaches column 3 (possibly a revival retry), so
+	// total forwards stay small and bounded.
+	if forwards == 0 || forwards > 3 {
+		t.Errorf("saw %d column forwards, want 1..3", forwards)
+	}
+	if e, ok := reader.Cache().Lookup(line); !ok || e.Data[0] != 5 {
+		t.Error("reader did not get the data")
+	}
+	s.OpLog = nil
+	// The stale entries must be gone (consumed by a REMOVE) or the oracle
+	// will flag them.
+	for r := 0; r < 4; r++ {
+		s.Node(at(r, 3)).Table().Remove(mlt.Line(line))
+	}
+	checkQuiet(t, s)
+}
+
+func TestRevivalOfUnanswerableRequest(t *testing.T) {
+	// A request routed to a column whose table says "modified here" but
+	// where no controller can answer: plant an entry with no holder at
+	// all. The row-match controller must restore the entry and
+	// retransmit; the retransmission cleans up via the home column and
+	// memory (which is valid), serving the request.
+	k, s := testSystem(t, 4)
+	line := cache.Line(1)
+	s.MemoryAt(1).Store().Write(1, []uint64{9, 9, 9, 9})
+
+	for r := 0; r < 4; r++ {
+		s.Node(at(r, 3)).Table().Insert(mlt.Line(line)) // bogus entry, no holder
+	}
+	reader := s.Node(at(2, 0))
+	completed := false
+	reader.Read(line, func(Result) { completed = true })
+	k.Run()
+	if !completed {
+		t.Fatal("request died on the unanswerable column")
+	}
+	if e, ok := reader.Cache().Lookup(line); !ok || e.Data[0] != 9 {
+		t.Error("revived request returned wrong data")
+	}
+	if s.Node(at(2, 3)).Stats().Reissues == 0 {
+		t.Error("row-match controller never revived the request")
+	}
+	// The bogus entries were restored by the revival and must be cleared
+	// before the oracle runs (they reference no modified copy).
+	for r := 0; r < 4; r++ {
+		s.Node(at(r, 3)).Table().Remove(mlt.Line(line))
+	}
+	checkQuiet(t, s)
+}
+
+func TestHeadWithQueuedSuccessorStaysSilent(t *testing.T) {
+	// A lock head with a queued successor must not answer a TAS routed to
+	// its column; the request is revived and eventually fails at the
+	// admitted tail.
+	k, s := testSystem(t, 4)
+	line := cache.Line(0)
+	head := s.Node(at(0, 0))
+	do(t, k, func(done func(Result)) { head.SyncAcquire(line, done) })
+	waiter := s.Node(at(1, 1))
+	waiter.SyncAcquire(line, func(r Result) {
+		if !r.Acquired {
+			t.Errorf("waiter acquire: %+v", r)
+		}
+	})
+	k.Run() // waiter is now the admitted queue tail
+
+	taker := s.Node(at(3, 3))
+	res := do(t, k, func(done func(Result)) { taker.TestAndSet(line, done) })
+	if res.Acquired {
+		t.Fatal("TAS succeeded against a held, queued lock")
+	}
+	// Head must still hold the line with its successor intact.
+	e, ok := head.Cache().Lookup(line)
+	if !ok || e.State != Modified || e.Data[LinkWord] == 0 {
+		t.Fatal("head lost its queue state")
+	}
+	// Drain the queue.
+	if !head.SyncRelease(line) {
+		t.Fatal("head release degenerated")
+	}
+	k.Run()
+	if !waiter.SyncRelease(line) {
+		t.Fatal("waiter release degenerated")
+	}
+	k.Run()
+	checkQuiet(t, s)
+}

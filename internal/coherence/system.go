@@ -1,0 +1,385 @@
+package coherence
+
+import (
+	"fmt"
+
+	"multicube/internal/bus"
+	"multicube/internal/cache"
+	"multicube/internal/memory"
+	"multicube/internal/mlt"
+	"multicube/internal/sim"
+	"multicube/internal/topology"
+)
+
+// Snooping-cache line modes (Section 3): with respect to a particular
+// cache, a line is shared (global state unmodified), modified (global
+// state modified, present only in this cache), or invalid. Reserved is the
+// additional mode of Section 4: space allocated for a SYNC queue handoff
+// that has not arrived yet.
+const (
+	Invalid              = cache.Invalid
+	Shared   cache.State = 1
+	Modified cache.State = 2
+	Reserved cache.State = 3
+)
+
+// StateName renders a line mode for diagnostics.
+func StateName(s cache.State) string {
+	switch s {
+	case Invalid:
+		return "invalid"
+	case Shared:
+		return "shared"
+	case Modified:
+		return "modified"
+	case Reserved:
+		return "reserved"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Word roles within a line used by the synchronization transactions.
+const (
+	// LockWord is the designated test-and-set word.
+	LockWord = 0
+	// LinkWord holds the id of the next queue member in the SYNC
+	// distributed queue ("occupying a single word in different copies of
+	// the line").
+	LinkWord = 1
+)
+
+// Timing holds the temporal parameters of the machine, defaulted to the
+// figures the paper's evaluation uses.
+type Timing struct {
+	// WordTime is the bus transfer time per word (paper: 1 bus word
+	// every 50 ns).
+	WordTime sim.Time
+	// AddrWords is the bus occupancy, in word times, of an
+	// address-and-command operation.
+	AddrWords int
+	// CacheLatency is the snooping-cache access time before a controller
+	// can supply data (paper: 750 ns).
+	CacheLatency sim.Time
+	// MemoryLatency is the main memory access time (paper: 750 ns).
+	MemoryLatency sim.Time
+	// ForwardLatency is the controller overhead to relay an operation
+	// from one bus to the other.
+	ForwardLatency sim.Time
+}
+
+// DefaultTiming returns the constants from Figure 2's caption.
+func DefaultTiming() Timing {
+	return Timing{
+		WordTime:       50 * sim.Nanosecond,
+		AddrWords:      1,
+		CacheLatency:   750 * sim.Nanosecond,
+		MemoryLatency:  750 * sim.Nanosecond,
+		ForwardLatency: 0,
+	}
+}
+
+// Config describes one Wisconsin Multicube machine.
+type Config struct {
+	// N is the number of processors per bus; the machine has N×N nodes.
+	N int
+	// BlockWords is the coherency (and transfer) block size in bus words.
+	BlockWords int
+	// CacheLines and CacheAssoc size each snooping cache; zero lines
+	// means unbounded (the paper's "very large" DRAM cache).
+	CacheLines int
+	CacheAssoc int
+	// MLTEntries and MLTAssoc size each modified line table; zero
+	// entries means unbounded.
+	MLTEntries int
+	MLTAssoc   int
+	// Timing defaults to DefaultTiming when zero.
+	Timing Timing
+	// Arbitration selects the bus arbitration policy.
+	Arbitration bus.Arbitration
+	// Snarf enables acquiring a recently-held invalid line in shared
+	// mode as it passes by on a bus (Section 3).
+	Snarf bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.BlockWords == 0 {
+		c.BlockWords = 16
+	}
+	if c.Timing == (Timing{}) {
+		c.Timing = DefaultTiming()
+	}
+	if c.Timing.AddrWords == 0 {
+		c.Timing.AddrWords = 1
+	}
+}
+
+func (c *Config) validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("coherence: N = %d, need at least 2 processors per bus", c.N)
+	}
+	if c.BlockWords < 2 {
+		return fmt.Errorf("coherence: block size %d words, need at least 2 (lock and link words)", c.BlockWords)
+	}
+	if c.Timing.WordTime == 0 {
+		return fmt.Errorf("coherence: zero word time")
+	}
+	return nil
+}
+
+// TxnStats aggregates completed transactions of one type.
+type TxnStats struct {
+	Count        uint64
+	TotalLatency sim.Time
+	RowOps       uint64
+	ColOps       uint64
+}
+
+// MeanLatency returns the average issue-to-completion latency.
+func (s TxnStats) MeanLatency() sim.Time {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.TotalLatency / sim.Time(s.Count)
+}
+
+// MeanOps returns the average bus operations per transaction.
+func (s TxnStats) MeanOps() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.RowOps+s.ColOps) / float64(s.Count)
+}
+
+// System is one assembled machine: the grid of nodes, the row and column
+// buses, and the per-column memory modules.
+type System struct {
+	k    *sim.Kernel
+	grid topology.Grid
+	cfg  Config
+
+	rows  []*bus.Bus
+	cols  []*bus.Bus
+	nodes [][]*Node // [row][col]
+	mems  []*Memory // per column
+
+	txnStats map[Txn]*TxnStats
+	strays   uint64
+
+	// OpLog, when set, observes every bus operation as it is issued;
+	// tests use it for protocol traces.
+	OpLog func(dim Dim, issuer topology.Coord, op *Op)
+
+	// Fault, when set, is consulted before every controller-issued bus
+	// operation; returning true DROPS the operation. It exists to test
+	// the protocol's robustness claim: "a controller can, on occasion,
+	// simply discard such requests without breaking the protocol" —
+	// the memory valid bit re-drives dropped work.
+	Fault func(dim Dim, issuer topology.Coord, op *Op) bool
+
+	// SuppressSignal, when set, makes a controller fail to respond to a
+	// row request entirely — neither asserting the modified signal nor
+	// forwarding onto its column. This is the precise failure Section 3
+	// analyzes: the request is then routed (incorrectly) onto the home
+	// column, retransmitted by main memory because the line is invalid
+	// there, and forwarded back onto the originator's row as if it were
+	// an original request.
+	SuppressSignal func(n topology.Coord, op *Op) bool
+
+	dropped uint64
+}
+
+// DroppedOps counts operations discarded by the fault injector.
+func (s *System) DroppedOps() uint64 { return s.dropped }
+
+// NewSystem builds a machine on the given kernel.
+func NewSystem(k *sim.Kernel, cfg Config) (*System, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	grid, err := topology.NewGrid(cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{k: k, grid: grid, cfg: cfg, txnStats: make(map[Txn]*TxnStats)}
+	n := cfg.N
+	s.rows = make([]*bus.Bus, n)
+	s.cols = make([]*bus.Bus, n)
+	for i := 0; i < n; i++ {
+		s.rows[i] = bus.New(k, fmt.Sprintf("row%d", i), cfg.Arbitration)
+		s.cols[i] = bus.New(k, fmt.Sprintf("col%d", i), cfg.Arbitration)
+	}
+	s.nodes = make([][]*Node, n)
+	for r := 0; r < n; r++ {
+		s.nodes[r] = make([]*Node, n)
+		for c := 0; c < n; c++ {
+			nd, err := newNode(s, topology.Coord{Row: r, Col: c})
+			if err != nil {
+				return nil, err
+			}
+			s.nodes[r][c] = nd
+		}
+	}
+	// Attach in deterministic order: nodes row-major on their buses,
+	// memory last on each column.
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			nd := s.nodes[r][c]
+			nd.rowIdx = s.rows[r].Attach(rowAgent{nd})
+			nd.colIdx = s.cols[c].Attach(colAgent{nd})
+		}
+	}
+	s.mems = make([]*Memory, n)
+	for c := 0; c < n; c++ {
+		st, err := memory.NewStore(cfg.BlockWords)
+		if err != nil {
+			return nil, err
+		}
+		m := &Memory{sys: s, col: c, store: st}
+		m.busIdx = s.cols[c].Attach(memAgent{m})
+		s.mems[c] = m
+	}
+	return s, nil
+}
+
+// MustNewSystem is NewSystem but panics on error.
+func MustNewSystem(k *sim.Kernel, cfg Config) *System {
+	s, err := NewSystem(k, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Kernel returns the simulation kernel.
+func (s *System) Kernel() *sim.Kernel { return s.k }
+
+// Config returns the machine configuration (with defaults filled).
+func (s *System) Config() Config { return s.cfg }
+
+// Grid returns the machine's topology.
+func (s *System) Grid() topology.Grid { return s.grid }
+
+// Node returns the controller at coordinate c.
+func (s *System) Node(c topology.Coord) *Node { return s.nodes[c.Row][c.Col] }
+
+// NodeByID returns the controller with the given linearized id.
+func (s *System) NodeByID(id topology.NodeID) *Node {
+	return s.Node(s.grid.Coord(id))
+}
+
+// MemoryAt returns the memory module on column c.
+func (s *System) MemoryAt(c int) *Memory { return s.mems[c] }
+
+// RowBus and ColBus expose the buses for metrics.
+func (s *System) RowBus(i int) *bus.Bus { return s.rows[i] }
+func (s *System) ColBus(i int) *bus.Bus { return s.cols[i] }
+
+// Stats returns the per-transaction aggregates keyed by type.
+func (s *System) Stats() map[Txn]TxnStats {
+	out := make(map[Txn]TxnStats, len(s.txnStats))
+	for t, st := range s.txnStats {
+		out[t] = *st
+	}
+	return out
+}
+
+// StrayReplies counts replies that arrived with no matching outstanding
+// request; always zero in a correct run.
+func (s *System) StrayReplies() uint64 { return s.strays }
+
+// homeColumn maps a line to its home column.
+func (s *System) homeColumn(line cache.Line) int {
+	return s.grid.HomeColumn(topology.LineID(line))
+}
+
+// encodeNode packs a node id into a link word (0 means none).
+func (s *System) encodeNode(c topology.Coord) uint64 {
+	return uint64(s.grid.ID(c)) + 1
+}
+
+// decodeNode unpacks a link word; ok is false for the zero (none) value.
+func (s *System) decodeNode(w uint64) (topology.Coord, bool) {
+	if w == 0 {
+		return topology.Coord{}, false
+	}
+	return s.grid.Coord(topology.NodeID(w - 1)), true
+}
+
+// addrOccupancy and dataOccupancy compute bus hold times.
+func (s *System) addrOccupancy() sim.Time {
+	return sim.Time(s.cfg.Timing.AddrWords) * s.cfg.Timing.WordTime
+}
+
+func (s *System) dataOccupancy() sim.Time {
+	return sim.Time(s.cfg.Timing.AddrWords+s.cfg.BlockWords) * s.cfg.Timing.WordTime
+}
+
+// addrOp builds an address-and-command operation.
+func (s *System) addrOp(txn Txn, flags Flags, origin topology.Coord, line cache.Line, trace *TxnTrace) *Op {
+	return &Op{Txn: txn, Flags: flags, Origin: origin, Line: line, occ: s.addrOccupancy(), trace: trace}
+}
+
+// replyOp builds a data reply, or an address-only acknowledgement when
+// data is nil (the ALLOCATE variant).
+func (s *System) replyOp(txn Txn, flags Flags, origin topology.Coord, line cache.Line, data []uint64, trace *TxnTrace) *Op {
+	if data == nil {
+		return s.addrOp(txn, flags, origin, line, trace)
+	}
+	return s.dataOp(txn, flags, origin, line, data, trace)
+}
+
+// dataOp builds a data-carrying operation; data is copied.
+func (s *System) dataOp(txn Txn, flags Flags, origin topology.Coord, line cache.Line, data []uint64, trace *TxnTrace) *Op {
+	buf := make([]uint64, s.cfg.BlockWords)
+	copy(buf, data)
+	return &Op{Txn: txn, Flags: flags, Origin: origin, Line: line, Data: buf, occ: s.dataOccupancy(), trace: trace, born: s.k.Now()}
+}
+
+// forwardOp rebuilds a data reply for the next bus hop, preserving the
+// payload's birth time.
+func (s *System) forwardOp(src *Op, flags Flags, trace *TxnTrace) *Op {
+	op := s.dataOp(src.Txn, flags, src.Origin, src.Line, src.Data, trace)
+	op.born = src.born
+	return op
+}
+
+func (s *System) recordCompletion(tr *TxnTrace) {
+	if tr == nil {
+		return
+	}
+	st := s.txnStats[tr.Txn]
+	if st == nil {
+		st = &TxnStats{}
+		s.txnStats[tr.Txn] = st
+	}
+	st.Count++
+	st.TotalLatency += s.k.Now() - tr.Started
+	st.RowOps += uint64(tr.RowOps)
+	st.ColOps += uint64(tr.ColOps)
+}
+
+// rowAgent and colAgent adapt a node to its two buses.
+type rowAgent struct{ n *Node }
+
+func (a rowAgent) Probe(b *bus.Bus, pkt bus.Packet) { a.n.probeRow(pkt.(*Op)) }
+func (a rowAgent) Snoop(b *bus.Bus, pkt bus.Packet) { a.n.snoopRow(pkt.(*Op)) }
+
+type colAgent struct{ n *Node }
+
+func (a colAgent) Probe(b *bus.Bus, pkt bus.Packet) { a.n.probeCol(pkt.(*Op)) }
+func (a colAgent) Snoop(b *bus.Bus, pkt bus.Packet) { a.n.snoopCol(pkt.(*Op)) }
+
+type memAgent struct{ m *Memory }
+
+func (a memAgent) Probe(b *bus.Bus, pkt bus.Packet) {}
+func (a memAgent) Snoop(b *bus.Bus, pkt bus.Packet) { a.m.snoop(pkt.(*Op)) }
+
+// Interface checks.
+var (
+	_ bus.Agent = rowAgent{}
+	_ bus.Agent = colAgent{}
+	_ bus.Agent = memAgent{}
+	_ mlt.Line  = 0 // mlt and cache line types stay convertible
+)

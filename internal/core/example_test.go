@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"fmt"
+
+	"multicube/internal/core"
+	"multicube/internal/sim"
+)
+
+// ExampleMachine_Spawn shows the basic programming model: ordinary Go
+// functions running as programs on the simulated processors, exchanging
+// data through the coherent shared memory.
+func ExampleMachine_Spawn() {
+	m := core.MustNew(core.Config{N: 2, BlockWords: 8})
+
+	m.Spawn(0, func(c *core.Ctx) {
+		c.Store(100, 7)
+		c.Store(0, 1) // flag
+	})
+	m.Spawn(3, func(c *core.Ctx) {
+		for c.Load(0) == 0 {
+			c.Sleep(1 * sim.Microsecond)
+		}
+		fmt.Println("value:", c.Load(100))
+	})
+	m.Run()
+	// Output: value: 7
+}
+
+// ExampleMachine_SeedMemory shows loading an initial image and reading
+// coherent state back without simulated accesses.
+func ExampleMachine_SeedMemory() {
+	m := core.MustNew(core.Config{N: 2, BlockWords: 4})
+	m.SeedMemory(0, []uint64{10, 20, 30})
+	fmt.Println(m.ReadCoherent(1))
+	// Output: 20
+}
+
+// ExampleCtx_TestAndSet shows the remote test-and-set transaction used as
+// a spin lock protecting a counter on the same line.
+func ExampleCtx_TestAndSet() {
+	m := core.MustNew(core.Config{N: 2, BlockWords: 8})
+	for id := 0; id < 4; id++ {
+		m.Spawn(id, func(c *core.Ctx) {
+			for i := 0; i < 3; i++ {
+				for !c.TestAndSet(0) {
+					c.Sleep(500 * sim.Nanosecond)
+				}
+				c.Store(4, c.Load(4)+1)
+				c.Store(0, 0)
+			}
+		})
+	}
+	m.Run()
+	fmt.Println("count:", m.ReadCoherent(4))
+	// Output: count: 12
+}
+
+// ExampleCtx_SyncAcquire shows the SYNC distributed queue lock: waiters
+// receive the lock line by direct cache-to-cache handoff in FIFO order.
+func ExampleCtx_SyncAcquire() {
+	m := core.MustNew(core.Config{N: 2, BlockWords: 8})
+	for id := 0; id < 4; id++ {
+		m.Spawn(id, func(c *core.Ctx) {
+			r := c.SyncAcquire(0)
+			for !r.Acquired {
+				for !c.TestAndSet(0) {
+					c.Sleep(1 * sim.Microsecond)
+				}
+				r.Acquired = true
+			}
+			c.Store(5, c.Load(5)+10)
+			if !c.SyncRelease(0) {
+				c.Store(0, 0)
+			}
+		})
+	}
+	m.Run()
+	fmt.Println("total:", m.ReadCoherent(5))
+	// Output: total: 40
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnarfAblation(t *testing.T) {
+	tbl := Snarf(80)
+	if tbl.Rows() != 2 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+	out := tbl.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Row order: false, true. The snarf run must record snarfs; the
+	// baseline must record zero.
+	if !strings.HasPrefix(lines[1], "false") || !strings.HasPrefix(lines[2], "true") {
+		t.Fatalf("unexpected rows:\n%s", out)
+	}
+	if !strings.Contains(lines[1], ",0,") {
+		t.Errorf("baseline recorded snarfs: %s", lines[1])
+	}
+}
+
+func TestMLTSizeAblation(t *testing.T) {
+	tbl := MLTSize(80)
+	out := tbl.Render()
+	if !strings.Contains(out, "unbounded") {
+		t.Fatalf("missing unbounded row:\n%s", out)
+	}
+	// The smallest table must overflow; the unbounded one must not.
+	csv := strings.Split(strings.TrimSpace(tbl.CSV()), "\n")
+	first := strings.Split(csv[1], ",")
+	last := strings.Split(csv[len(csv)-1], ",")
+	if first[1] == "0" {
+		t.Errorf("2-entry table never overflowed: %v", first)
+	}
+	if last[1] != "0" {
+		t.Errorf("unbounded table overflowed: %v", last)
+	}
+}
+
+func TestFalseSharingCostsMore(t *testing.T) {
+	tbl := FalseSharing(40)
+	csv := strings.Split(strings.TrimSpace(tbl.CSV()), "\n")
+	same := strings.Split(csv[1], ",")
+	separate := strings.Split(csv[2], ",")
+	if atoiSafe(same[1]) <= atoiSafe(separate[1]) {
+		t.Errorf("false sharing (%s ops) not costlier than separate blocks (%s ops)", same[1], separate[1])
+	}
+}
+
+func TestArbitrationTable(t *testing.T) {
+	tbl := Arbitration(60)
+	out := tbl.Render()
+	for _, want := range []string{"FIFO", "round-robin"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDimensionsRenders(t *testing.T) {
+	out := Dimensions().Render()
+	if !strings.Contains(out, "n=32 k=2") || !strings.Contains(out, "k=10") {
+		t.Errorf("dimension sweep incomplete:\n%s", out)
+	}
+}
+
+func atoiSafe(s string) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func TestSyncScalingQueueStaysFlat(t *testing.T) {
+	tbl := SyncScaling(5)
+	csv := strings.Split(strings.TrimSpace(tbl.CSV()), "\n")
+	// Column 3 (SYNC queue) at 2 vs 16 contenders: the queue's cost per
+	// section must grow far slower than test-and-set's (column 1).
+	first := strings.Split(csv[1], ",")
+	last := strings.Split(csv[len(csv)-1], ",")
+	tas2, tas16 := atofSafe(first[1]), atofSafe(last[1])
+	q2, q16 := atofSafe(first[3]), atofSafe(last[3])
+	if q16 >= tas16 {
+		t.Errorf("queue (%f) not cheaper than TAS (%f) at 16 contenders", q16, tas16)
+	}
+	if (q16 / q2) > (tas16 / tas2) {
+		t.Errorf("queue growth %f worse than TAS growth %f", q16/q2, tas16/tas2)
+	}
+}
+
+func atofSafe(s string) float64 {
+	var v float64
+	var frac, div float64 = 0, 1
+	dot := false
+	for _, c := range s {
+		if c == '.' {
+			dot = true
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		if dot {
+			div *= 10
+			frac = frac*10 + float64(c-'0')
+		} else {
+			v = v*10 + float64(c-'0')
+		}
+	}
+	return v + frac/div
+}

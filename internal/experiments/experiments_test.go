@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFiguresNonEmpty(t *testing.T) {
+	for name, f := range map[string]interface{ Render() string }{
+		"fig2":     Figure2(),
+		"fig3":     Figure3(),
+		"fig4":     Figure4(),
+		"tradeoff": BlockTradeoff(),
+		"latency":  Latency(),
+	} {
+		out := f.Render()
+		if len(out) < 100 {
+			t.Errorf("%s: short output:\n%s", name, out)
+		}
+	}
+}
+
+func TestOpsTableMatchesPaper(t *testing.T) {
+	out := Ops().Render()
+	// Spot-check the headline counts against the rendered rows.
+	for _, want := range []string{"READ unmodified", "READMOD modified", "broadcast"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ops table missing %q:\n%s", want, out)
+		}
+	}
+	tbl := Ops()
+	if tbl.Rows() != 5 {
+		t.Errorf("ops table has %d rows", tbl.Rows())
+	}
+}
+
+func TestScaleTable(t *testing.T) {
+	out := Scale().Render()
+	if !strings.Contains(out, "1024") {
+		t.Errorf("scale table missing the 1K configuration:\n%s", out)
+	}
+}
+
+func TestFigure2SimShape(t *testing.T) {
+	f := Figure2Sim([]int{3, 4}, 60)
+	// Within each curve, higher measured rate means lower efficiency.
+	for _, label := range []string{"n=3 (N=9)", "n=4 (N=16)"} {
+		s := f.Series(label)
+		if len(s.Points) < 3 {
+			t.Fatalf("%s: only %d points", label, len(s.Points))
+		}
+		var xs []float64
+		for x := range s.Points {
+			xs = append(xs, x)
+		}
+		// Check the extremes: lowest-rate point beats highest-rate point.
+		min, max := xs[0], xs[0]
+		for _, x := range xs {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		if s.Points[min] <= s.Points[max] {
+			t.Errorf("%s: efficiency did not fall with load (%.3f@%.1f vs %.3f@%.1f)",
+				label, s.Points[min], min, s.Points[max], max)
+		}
+	}
+}
+
+func TestMultiVsMulticubeShape(t *testing.T) {
+	tbl := MultiVsMulticube(60)
+	if tbl.Rows() != 4 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "64") {
+		t.Errorf("missing 64-processor row:\n%s", out)
+	}
+}
+
+func TestSyncTableQueueWins(t *testing.T) {
+	out := Sync(5).Render()
+	for _, want := range []string{"test-and-set", "SYNC queue"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sync table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package memory implements the main-memory storage substrate: a sparse
+// word store with the per-line valid ("tag") bit of Section 3. In the
+// Wisconsin Multicube, main memory is divided among the column buses and
+// interleaved by line; each module holds only the lines whose home column
+// it sits on. The single tag bit per line indicates whether the memory
+// contents are current ("unmodified") or stale because some cache holds
+// the line modified; it is what lets the protocol safely reissue requests
+// that were routed to memory while the modified line tables were in an
+// inconsistent state.
+//
+// The store is purely functional state: latency and bus behaviour are
+// modeled by the coherence package's memory agent.
+package memory
+
+import "fmt"
+
+// Line addresses a coherency block.
+type Line uint64
+
+// Store is one memory module's contents. Lines are zero-filled and valid
+// until written or invalidated, matching a machine that boots with memory
+// owning every line.
+type Store struct {
+	blockWords int
+	data       map[Line][]uint64
+	invalid    map[Line]bool
+
+	reads       uint64
+	writes      uint64
+	invalidates uint64
+	reissues    uint64
+}
+
+// NewStore returns an empty module with the given block size in words.
+func NewStore(blockWords int) (*Store, error) {
+	if blockWords < 1 {
+		return nil, fmt.Errorf("memory: block size %d words, need at least 1", blockWords)
+	}
+	return &Store{
+		blockWords: blockWords,
+		data:       make(map[Line][]uint64),
+		invalid:    make(map[Line]bool),
+	}, nil
+}
+
+// MustNewStore is NewStore but panics on error.
+func MustNewStore(blockWords int) *Store {
+	s, err := NewStore(blockWords)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// BlockWords returns the block size in words.
+func (s *Store) BlockWords() int { return s.blockWords }
+
+// Valid reports the line's tag bit: true when memory holds the current
+// value.
+func (s *Store) Valid(line Line) bool { return !s.invalid[line] }
+
+// Read returns a copy of the line's contents. Reading an invalid line is
+// the caller's protocol error; the store returns the stale words, exactly
+// as the hardware would.
+func (s *Store) Read(line Line) []uint64 {
+	s.reads++
+	out := make([]uint64, s.blockWords)
+	copy(out, s.data[line])
+	return out
+}
+
+// Peek is Read without statistics, for invariant checkers.
+func (s *Store) Peek(line Line) []uint64 {
+	out := make([]uint64, s.blockWords)
+	copy(out, s.data[line])
+	return out
+}
+
+// Write stores data (zero-extended to a block) and sets the valid bit —
+// the protocol's "write memory line and mark line valid".
+func (s *Store) Write(line Line, data []uint64) {
+	s.writes++
+	buf, ok := s.data[line]
+	if !ok {
+		buf = make([]uint64, s.blockWords)
+		s.data[line] = buf
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	copy(buf, data)
+	delete(s.invalid, line)
+}
+
+// Invalidate clears the valid bit — the line is now modified in some
+// cache and the memory copy is stale.
+func (s *Store) Invalidate(line Line) {
+	s.invalidates++
+	s.invalid[line] = true
+}
+
+// CountReissue records that a request arrived for an invalid line and was
+// retransmitted (the robustness path of Section 3).
+func (s *Store) CountReissue() { s.reissues++ }
+
+// Stats reports module activity.
+type Stats struct {
+	Reads       uint64
+	Writes      uint64
+	Invalidates uint64
+	Reissues    uint64
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	return Stats{Reads: s.reads, Writes: s.writes, Invalidates: s.invalidates, Reissues: s.reissues}
+}
+
+// InvalidLines returns the number of lines currently marked invalid.
+func (s *Store) InvalidLines() int { return len(s.invalid) }

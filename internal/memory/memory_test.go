@@ -1,0 +1,107 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewStoreValidation(t *testing.T) {
+	if _, err := NewStore(0); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if _, err := NewStore(16); err != nil {
+		t.Errorf("NewStore(16): %v", err)
+	}
+}
+
+func TestZeroFilledAndValidByDefault(t *testing.T) {
+	s := MustNewStore(4)
+	if !s.Valid(123) {
+		t.Error("untouched line not valid")
+	}
+	got := s.Read(123)
+	if len(got) != 4 {
+		t.Fatalf("Read returned %d words", len(got))
+	}
+	for i, w := range got {
+		if w != 0 {
+			t.Errorf("word %d = %d, want 0", i, w)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := MustNewStore(4)
+	s.Write(7, []uint64{1, 2, 3, 4})
+	got := s.Read(7)
+	for i, want := range []uint64{1, 2, 3, 4} {
+		if got[i] != want {
+			t.Errorf("word %d = %d, want %d", i, got[i], want)
+		}
+	}
+	// Short writes zero-extend.
+	s.Write(7, []uint64{9})
+	got = s.Read(7)
+	if got[0] != 9 || got[1] != 0 {
+		t.Errorf("short write: %v", got)
+	}
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	s := MustNewStore(2)
+	s.Write(1, []uint64{5, 5})
+	got := s.Read(1)
+	got[0] = 99
+	if s.Read(1)[0] != 5 {
+		t.Error("Read exposed internal storage")
+	}
+}
+
+func TestValidBitLifecycle(t *testing.T) {
+	s := MustNewStore(2)
+	s.Invalidate(3)
+	if s.Valid(3) {
+		t.Fatal("line valid after Invalidate")
+	}
+	if s.InvalidLines() != 1 {
+		t.Fatalf("InvalidLines = %d", s.InvalidLines())
+	}
+	s.Write(3, []uint64{1})
+	if !s.Valid(3) {
+		t.Fatal("Write did not set valid bit")
+	}
+	if s.InvalidLines() != 0 {
+		t.Fatalf("InvalidLines = %d after write", s.InvalidLines())
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := MustNewStore(2)
+	s.Write(1, nil)
+	s.Read(1)
+	s.Read(2)
+	s.Invalidate(1)
+	s.CountReissue()
+	got := s.Stats()
+	want := Stats{Reads: 2, Writes: 1, Invalidates: 1, Reissues: 1}
+	if got != want {
+		t.Errorf("stats = %+v, want %+v", got, want)
+	}
+	s.Peek(1) // Peek must not count
+	if s.Stats().Reads != 2 {
+		t.Error("Peek counted as a read")
+	}
+}
+
+func TestPropertyLastWriteWins(t *testing.T) {
+	s := MustNewStore(1)
+	f := func(line uint16, a, b uint64) bool {
+		l := Line(line)
+		s.Write(l, []uint64{a})
+		s.Write(l, []uint64{b})
+		return s.Read(l)[0] == b && s.Valid(l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

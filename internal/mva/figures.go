@@ -1,0 +1,139 @@
+package mva
+
+import (
+	"fmt"
+
+	"multicube/internal/stats"
+)
+
+// This file defines the exact parameter sets of the paper's evaluation
+// figures and renders each as a stats.Figure (one column per curve, one
+// row per x value), the form the benchmark harness prints.
+
+// RateSweep is the default x axis: bus requests per millisecond per
+// processor. The paper's design point is 25 requests/ms ("an average
+// access rate of less than twenty-five requests per millisecond per
+// processor" for ~90% utilization of 1K processors).
+func RateSweep() []float64 {
+	return []float64{1, 2, 5, 10, 15, 20, 25, 30, 35, 40, 50, 60, 80, 100}
+}
+
+// Figure2 reproduces "Efficiency versus Number of Processors per Row":
+// one curve per row width (8, 16, 24, 32 — total processors the square),
+// block 16 words, P(unmodified)=0.8, P(invalidate)=0.2.
+func Figure2(rates []float64) *stats.Figure {
+	if rates == nil {
+		rates = RateSweep()
+	}
+	f := stats.NewFigure(
+		"Figure 2: Efficiency versus number of processors per row (top to bottom: 8, 16, 24, 32)",
+		"req/ms")
+	for _, n := range []int{8, 16, 24, 32} {
+		label := figLabel("n=%d (N=%d)", n, n*n)
+		for _, rate := range rates {
+			p := Defaults(n)
+			p.RequestRate = rate
+			f.Add(label, rate, MustSolve(p).Efficiency)
+		}
+	}
+	return f
+}
+
+// Figure3 reproduces "The Effect of Invalidations on Performance with 1K
+// Processors": n=32, write-miss-to-shared percentage 10..50.
+func Figure3(rates []float64) *stats.Figure {
+	if rates == nil {
+		rates = RateSweep()
+	}
+	f := stats.NewFigure(
+		"Figure 3: Effect of invalidations, 1K processors (top to bottom: 10%..50% write misses to shared data)",
+		"req/ms")
+	for _, pct := range []int{10, 20, 30, 40, 50} {
+		label := figLabel("inval=%d%%", pct)
+		for _, rate := range rates {
+			p := Defaults(32)
+			p.RequestRate = rate
+			p.PInvalidate = float64(pct) / 100
+			f.Add(label, rate, MustSolve(p).Efficiency)
+		}
+	}
+	return f
+}
+
+// Figure4 reproduces "Effect of Block Size on Performance with 1K
+// Processors": n=32, block sizes 4..64 bus words at a fixed request rate
+// per curve point.
+func Figure4(rates []float64) *stats.Figure {
+	if rates == nil {
+		rates = RateSweep()
+	}
+	f := stats.NewFigure(
+		"Figure 4: Effect of block size, 1K processors (top to bottom: 4, 8, 16, 32, 64 bus words)",
+		"req/ms")
+	for _, bw := range []int{4, 8, 16, 32, 64} {
+		label := figLabel("block=%d", bw)
+		for _, rate := range rates {
+			p := Defaults(32)
+			p.RequestRate = rate
+			p.BlockWords = bw
+			f.Add(label, rate, MustSolve(p).Efficiency)
+		}
+	}
+	return f
+}
+
+// Figure4BlockTradeoff renders the dashed-line analysis of Figure 4: how
+// efficiency at the design-point load changes with block size under the
+// two extreme couplings the paper draws — doubling the block size leaves
+// the request rate unchanged (pessimistic), or halves it (optimistic,
+// perfect spatial locality).
+func Figure4BlockTradeoff(baseRate float64) *stats.Figure {
+	f := stats.NewFigure(
+		"Figure 4 (dashed lines): block size versus request-rate coupling at the design point",
+		"block")
+	for _, bw := range []int{4, 8, 16, 32, 64} {
+		p := Defaults(32)
+		p.BlockWords = bw
+		p.RequestRate = baseRate
+		f.Add("rate constant", float64(bw), MustSolve(p).Efficiency)
+		p.RequestRate = baseRate * 16 / float64(bw) // halves per doubling, anchored at 16
+		f.Add("rate halves per doubling", float64(bw), MustSolve(p).Efficiency)
+	}
+	return f
+}
+
+// LatencyTechniques renders the Section 5 ablation: transfer-block size
+// reduction, cut-through forwarding, and requested-word-first, separately
+// and combined, at n=32 with 32-word coherency blocks.
+func LatencyTechniques(rates []float64) *stats.Figure {
+	if rates == nil {
+		rates = RateSweep()
+	}
+	f := stats.NewFigure(
+		"Latency-reduction techniques (Section 5), n=32, 32-word coherency blocks",
+		"req/ms")
+	variants := []struct {
+		label string
+		mod   func(*Params)
+	}{
+		{"baseline", func(*Params) {}},
+		{"cut-through", func(p *Params) { p.CutThrough = true }},
+		{"word-first", func(p *Params) { p.WordFirst = true }},
+		{"both", func(p *Params) { p.CutThrough = true; p.WordFirst = true }},
+		{"transfer=8", func(p *Params) { p.TransferWords = 8 }},
+	}
+	for _, v := range variants {
+		for _, rate := range rates {
+			p := Defaults(32)
+			p.BlockWords = 32
+			p.RequestRate = rate
+			v.mod(&p)
+			f.Add(v.label, rate, MustSolve(p).Efficiency)
+		}
+	}
+	return f
+}
+
+func figLabel(format string, args ...interface{}) string {
+	return fmt.Sprintf(format, args...)
+}

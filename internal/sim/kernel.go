@@ -1,0 +1,144 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the heartbeat of every machine model in this repository:
+// buses, caches, memories and processors all advance by scheduling closures
+// at future points in simulated time. Events with equal timestamps are
+// executed in scheduling order (a strictly increasing sequence number breaks
+// ties), so a run is reproducible bit-for-bit given the same inputs.
+//
+// Simulated processors that are written as ordinary Go code (the examples
+// in this repository run real programs against the simulated memory) attach
+// to the kernel through a Proc, which alternates control between the
+// program goroutine and the kernel so that no two goroutines ever touch
+// kernel state concurrently. Determinism is preserved because at most one
+// goroutine runs at a time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds since the start of the run.
+type Time uint64
+
+// Common durations, for readability at call sites.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%d.%03ds", t/Second, (t%Second)/Millisecond)
+	case t >= Millisecond:
+		return fmt.Sprintf("%d.%03dms", t/Millisecond, (t%Millisecond)/Microsecond)
+	case t >= Microsecond:
+		return fmt.Sprintf("%d.%03dus", t/Microsecond, (t%Microsecond)/Nanosecond)
+	default:
+		return fmt.Sprintf("%dns", uint64(t))
+	}
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a single-threaded discrete-event scheduler.
+// The zero value is not usable; call NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	procs  []*Proc
+
+	// executed counts events dispatched, for diagnostics and tests.
+	executed uint64
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	k := &Kernel{}
+	heap.Init(&k.events)
+	return k
+}
+
+// Now reports the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending reports the number of events waiting to run.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Executed reports the total number of events dispatched so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now) panics: it always indicates a modeling bug.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// Step dispatches the single earliest event. It reports false when no
+// events remain.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(event)
+	k.now = e.at
+	k.executed++
+	e.fn()
+	return true
+}
+
+// Run dispatches events until none remain and returns the final time.
+func (k *Kernel) Run() Time {
+	for k.Step() {
+	}
+	return k.now
+}
+
+// RunUntil dispatches events with timestamps <= t, then advances the clock
+// to exactly t. Events scheduled beyond t remain pending.
+func (k *Kernel) RunUntil(t Time) {
+	for len(k.events) > 0 && k.events[0].at <= t {
+		k.Step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// RunFor runs the simulation for d nanoseconds of simulated time.
+func (k *Kernel) RunFor(d Time) { k.RunUntil(k.now + d) }

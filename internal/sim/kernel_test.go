@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelStartsAtZero(t *testing.T) {
+	k := NewKernel()
+	if k.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", k.Now())
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", k.Pending())
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var got []Time
+	for _, at := range []Time{30, 10, 20, 5, 25} {
+		at := at
+		k.At(at, func() { got = append(got, at) })
+	}
+	k.Run()
+	want := []Time{5, 10, 20, 25, 30}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d ran at %v, want %v", i, got[i], want[i])
+		}
+	}
+	if k.Now() != 30 {
+		t.Errorf("final time %v, want 30", k.Now())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(100, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	k := NewKernel()
+	var fired Time
+	k.At(50, func() {
+		k.After(25, func() { fired = k.Now() })
+	})
+	k.Run()
+	if fired != 75 {
+		t.Fatalf("After fired at %v, want 75", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(50, func() {})
+	})
+	k.Run()
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	k := NewKernel()
+	ran := map[Time]bool{}
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		k.At(at, func() { ran[at] = true })
+	}
+	k.RunUntil(25)
+	if !ran[10] || !ran[20] {
+		t.Error("events at or before 25 did not run")
+	}
+	if ran[30] || ran[40] {
+		t.Error("events after 25 ran early")
+	}
+	if k.Now() != 25 {
+		t.Errorf("Now() = %v, want 25", k.Now())
+	}
+	// Inclusive boundary.
+	k.RunUntil(30)
+	if !ran[30] {
+		t.Error("event at exactly 30 did not run on RunUntil(30)")
+	}
+}
+
+func TestRunForAdvancesRelative(t *testing.T) {
+	k := NewKernel()
+	k.RunFor(100)
+	if k.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100", k.Now())
+	}
+	k.RunFor(50)
+	if k.Now() != 150 {
+		t.Fatalf("Now() = %v, want 150", k.Now())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	k := NewKernel()
+	if k.Step() {
+		t.Fatal("Step on empty kernel returned true")
+	}
+	k.At(1, func() {})
+	if !k.Step() {
+		t.Fatal("Step with pending event returned false")
+	}
+	if k.Executed() != 1 {
+		t.Fatalf("Executed() = %d, want 1", k.Executed())
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// An event chain where each event schedules the next; the kernel must
+	// drain all of them.
+	k := NewKernel()
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 1000 {
+			k.After(1, step)
+		}
+	}
+	k.At(0, step)
+	end := k.Run()
+	if count != 1000 {
+		t.Fatalf("ran %d chained events, want 1000", count)
+	}
+	if end != 999 {
+		t.Fatalf("final time %v, want 999", end)
+	}
+}
+
+// Property: for any set of scheduled times, events execute in sorted order
+// and the kernel finishes at the maximum time.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := NewKernel()
+		var got []Time
+		for _, r := range raw {
+			at := Time(r)
+			k.At(at, func() { got = append(got, at) })
+		}
+		k.Run()
+		if len(got) != len(raw) {
+			return false
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			return false
+		}
+		var max Time
+		for _, r := range raw {
+			if Time(r) > max {
+				max = Time(r)
+			}
+		}
+		return k.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: two kernels fed the same randomized workload execute the same
+// number of events and end at the same time (determinism).
+func TestPropertyDeterminism(t *testing.T) {
+	run := func(seed int64) (uint64, Time) {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		var schedule func()
+		n := 0
+		schedule = func() {
+			n++
+			if n > 500 {
+				return
+			}
+			k.After(Time(rng.Intn(50)), schedule)
+			if rng.Intn(2) == 0 {
+				k.After(Time(rng.Intn(100)), func() {})
+			}
+		}
+		k.At(0, schedule)
+		end := k.Run()
+		return k.Executed(), end
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		e1, t1 := run(seed)
+		e2, t2 := run(seed)
+		if e1 != e2 || t1 != t2 {
+			t.Fatalf("seed %d: run1=(%d,%v) run2=(%d,%v)", seed, e1, t1, e2, t2)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{1500, "1.500us"},
+		{2 * Millisecond, "2.000ms"},
+		{3*Second + 250*Millisecond, "3.250s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", uint64(c.t), got, c.want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+// Proc couples an ordinary Go function to the kernel so it can act as a
+// simulated processor. The function runs on its own goroutine but control
+// strictly alternates with the kernel: the goroutine runs only while the
+// kernel is parked, and the kernel runs only while every Proc is suspended.
+// A Proc may therefore touch kernel-owned state freely while it is running.
+//
+// The function must block only through Suspend (or helpers built on it,
+// such as Sleep); blocking on anything else deadlocks the simulation.
+type Proc struct {
+	k        *Kernel
+	resume   chan struct{}
+	yield    chan struct{}
+	finished bool
+	name     string
+}
+
+// Spawn starts fn as a simulated process. The process begins executing at
+// the current simulated time, when the kernel next dispatches events. name
+// is used in diagnostics only.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		name:   name,
+	}
+	k.procs = append(k.procs, p)
+	go func() {
+		<-p.resume // wait for the kernel to hand over control
+		fn(p)
+		p.finished = true
+		p.yield <- struct{}{}
+	}()
+	// The start event transfers control to the goroutine for the first time.
+	k.After(0, p.dispatch)
+	return p
+}
+
+// dispatch transfers control from kernel context to the process goroutine
+// and blocks until the process suspends or finishes.
+func (p *Proc) dispatch() {
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// Kernel returns the kernel this process is attached to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Finished reports whether the process function has returned.
+func (p *Proc) Finished() bool { return p.finished }
+
+// Now reports the current simulated time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Suspend parks the process until some future event calls wake. The issue
+// callback runs on the process goroutine (while the kernel is parked) and
+// must arrange for wake to be called exactly once — either synchronously
+// during issue (an operation that completes immediately) or later from
+// kernel context, typically as a completion callback registered with a
+// device model. Calling wake more than once panics.
+func (p *Proc) Suspend(issue func(wake func())) {
+	woken := false
+	parked := false
+	issue(func() {
+		if woken {
+			panic("sim: Proc wake called twice")
+		}
+		woken = true
+		if parked {
+			// Kernel context: hand control back to the process and wait
+			// for it to suspend again or finish.
+			p.dispatch()
+		}
+		// Otherwise the operation completed synchronously during issue;
+		// Suspend returns without ever parking.
+	})
+	if woken {
+		return
+	}
+	// Hand control back to the kernel; block until wake runs.
+	parked = true
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d nanoseconds of simulated time.
+func (p *Proc) Sleep(d Time) {
+	p.Suspend(func(wake func()) { p.k.After(d, wake) })
+}

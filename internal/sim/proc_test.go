@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestProcRunsAndFinishes(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	p := k.Spawn("worker", func(p *Proc) { ran = true })
+	k.Run()
+	if !ran {
+		t.Fatal("process body never ran")
+	}
+	if !p.Finished() {
+		t.Fatal("process not marked finished")
+	}
+	if p.Name() != "worker" {
+		t.Fatalf("Name() = %q, want worker", p.Name())
+	}
+}
+
+func TestProcSleepAdvancesTime(t *testing.T) {
+	k := NewKernel()
+	var woke Time
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(100)
+		woke = p.Now()
+		p.Sleep(50)
+	})
+	end := k.Run()
+	if woke != 100 {
+		t.Fatalf("woke at %v, want 100", woke)
+	}
+	if end != 150 {
+		t.Fatalf("run ended at %v, want 150", end)
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			order = append(order, "a")
+			p.Sleep(10)
+		}
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(5)
+		for i := 0; i < 3; i++ {
+			order = append(order, "b")
+			p.Sleep(10)
+		}
+	})
+	k.Run()
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSuspendWithDeviceCallback(t *testing.T) {
+	// Model a device that completes 42ns after a request is issued.
+	k := NewKernel()
+	var completion func()
+	var result Time
+	k.Spawn("p", func(p *Proc) {
+		p.Suspend(func(wake func()) {
+			completion = wake
+			k.After(42, func() { completion() })
+		})
+		result = p.Now()
+	})
+	k.Run()
+	if result != 42 {
+		t.Fatalf("resumed at %v, want 42", result)
+	}
+}
+
+func TestSuspendSynchronousWake(t *testing.T) {
+	// An operation that completes immediately (e.g. a cache hit) may call
+	// wake during issue; the process must continue without deadlock and
+	// without time advancing.
+	k := NewKernel()
+	var after Time
+	k.Spawn("p", func(p *Proc) {
+		p.Suspend(func(wake func()) { wake() })
+		after = p.Now()
+		p.Sleep(7)
+	})
+	end := k.Run()
+	if after != 0 {
+		t.Fatalf("synchronous wake advanced time to %v", after)
+	}
+	if end != 7 {
+		t.Fatalf("end = %v, want 7", end)
+	}
+}
+
+func TestDoubleWakePanics(t *testing.T) {
+	k := NewKernel()
+	var saved func()
+	k.Spawn("p", func(p *Proc) {
+		p.Suspend(func(wake func()) {
+			saved = wake
+			k.After(1, wake)
+		})
+	})
+	k.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("second wake did not panic")
+			}
+		}()
+		saved()
+	})
+	k.Run()
+}
+
+func TestManyProcsDeterminism(t *testing.T) {
+	run := func() []int {
+		k := NewKernel()
+		var order []int
+		for i := 0; i < 8; i++ {
+			i := i
+			k.Spawn("p", func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					p.Sleep(Time(1 + (i*7+j*3)%11))
+					order = append(order, i)
+				}
+			})
+		}
+		k.Run()
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestProcSeesKernelTime(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) {
+		if p.Kernel() != k {
+			t.Error("Kernel() did not return owning kernel")
+		}
+		p.Sleep(33)
+		if p.Now() != k.Now() {
+			t.Errorf("Proc.Now() %v != Kernel.Now() %v", p.Now(), k.Now())
+		}
+	})
+	k.Run()
+}

@@ -1,0 +1,252 @@
+package singlebus
+
+import (
+	"fmt"
+
+	"multicube/internal/bus"
+	"multicube/internal/cache"
+	"multicube/internal/sim"
+)
+
+// The baseline models a circa-1988 non-split ("atomic") backplane bus:
+// a miss holds the bus from address cycle through data return, so a whole
+// transaction is one indivisible bus operation. The data source (memory,
+// or a dirty cache asserting the inhibit line) resolves during the probe
+// phase; every controller then applies its write-once state change during
+// the snoop phase. This atomicity is what lets the single-bus protocol
+// stay simple — and what the Multicube's grid must give up and re-earn
+// with the modified line tables and the memory valid bit.
+
+// Processor is one cache controller plus its processor-side interface.
+type Processor struct {
+	m      *Machine
+	id     int
+	cache  *cache.Cache
+	busIdx int
+
+	pend *pendReq
+
+	loads, stores, hits uint64
+	invalidations       uint64
+}
+
+type pendReq struct {
+	line    cache.Line
+	write   bool
+	offset  int
+	value   uint64
+	started sim.Time
+	done    func(uint64)
+}
+
+// ID returns the processor index.
+func (p *Processor) ID() int { return p.id }
+
+// Cache exposes the cache for tests.
+func (p *Processor) Cache() *cache.Cache { return p.cache }
+
+// Stats reports reference counts.
+func (p *Processor) Stats() (loads, stores, hits, invalidations uint64) {
+	return p.loads, p.stores, p.hits, p.invalidations
+}
+
+// LoadAsync reads the word at addr; done receives the value.
+func (p *Processor) LoadAsync(addr Addr, done func(uint64)) {
+	p.loads++
+	line := cache.Line(addr / Addr(p.m.cfg.BlockWords))
+	off := int(addr % Addr(p.m.cfg.BlockWords))
+	if e, ok := p.cache.Access(line); ok {
+		p.hits++
+		done(e.Data[off])
+		return
+	}
+	p.begin(&pendReq{line: line, offset: off, done: done})
+	p.miss(opRead)
+}
+
+// StoreAsync writes value to addr; done fires when the write is complete
+// (including the write-once write-through bus operation when required).
+func (p *Processor) StoreAsync(addr Addr, value uint64, done func()) {
+	p.stores++
+	line := cache.Line(addr / Addr(p.m.cfg.BlockWords))
+	off := int(addr % Addr(p.m.cfg.BlockWords))
+	if e, ok := p.cache.Access(line); ok {
+		switch e.State {
+		case Reserved, Dirty:
+			// Local write; memory diverges.
+			p.hits++
+			e.Data[off] = value
+			e.State = Dirty
+			done()
+			return
+		case Valid:
+			// First write: write through one word, invalidating other
+			// copies; the line becomes Reserved.
+			p.begin(&pendReq{line: line, write: true, offset: off, value: value, done: func(uint64) { done() }})
+			p.m.bus.Request(p.busIdx, p.m.wordOp(p.id, line, off, value))
+			return
+		}
+	}
+	// Write miss: read the block with intent to modify; the line arrives
+	// Dirty with the new word applied.
+	p.begin(&pendReq{line: line, write: true, offset: off, value: value, done: func(uint64) { done() }})
+	p.miss(opReadInv)
+}
+
+func (p *Processor) begin(r *pendReq) {
+	if p.pend != nil {
+		panic(fmt.Sprintf("singlebus: processor %d overlapping requests", p.id))
+	}
+	r.started = p.m.k.Now()
+	p.pend = r
+}
+
+// miss writes back a dirty victim if needed, then issues the atomic
+// read transaction.
+func (p *Processor) miss(kind opKind) {
+	line := p.pend.line
+	if v := p.cache.SelectVictim(line); v != nil && v.State == Dirty {
+		p.m.bus.Request(p.busIdx, p.m.dataOp(opWriteBack, p.id, v.Line, v.Data))
+		p.cache.Invalidate(v.Line)
+	}
+	p.m.bus.Request(p.busIdx, p.m.readOp(kind, p.id, line))
+}
+
+func (p *Processor) complete(value uint64) {
+	r := p.pend
+	p.pend = nil
+	p.m.txnCount++
+	p.m.txnLatency += p.m.k.Now() - r.started
+	r.done(value)
+}
+
+// probe resolves the data source: a cache holding the line dirty asserts
+// the inhibit line and supplies the block in place of memory. A
+// write-through's originator confirms that its copy is still Valid at
+// arbitration win; otherwise the operation is void.
+func (p *Processor) probe(o *op) {
+	switch o.kind {
+	case opRead, opReadInv:
+		if o.origin != p.id {
+			if e, ok := p.cache.Lookup(o.line); ok && e.State == Dirty {
+				o.inhibit = true
+				o.data = append([]uint64(nil), e.Data...)
+			}
+		}
+	case opWriteWord:
+		if o.origin == p.id {
+			if e, ok := p.cache.Lookup(o.line); ok && e.State == Valid {
+				o.confirmed = true
+			}
+		}
+	}
+}
+
+// snoop applies the write-once state transitions at the end of the
+// transaction.
+func (p *Processor) snoop(o *op) {
+	e, have := p.cache.Lookup(o.line)
+	switch o.kind {
+	case opRead:
+		if o.origin == p.id {
+			p.fill(o, Valid)
+			return
+		}
+		if have {
+			switch e.State {
+			case Dirty, Reserved:
+				// Another processor read our exclusive line: fall back
+				// to Valid; memory is updated by the same transaction.
+				e.State = Valid
+			}
+		}
+	case opReadInv:
+		if o.origin == p.id {
+			p.fill(o, Dirty)
+			return
+		}
+		if have {
+			p.cache.Invalidate(o.line)
+			p.invalidations++
+		}
+	case opWriteWord:
+		if o.origin == p.id {
+			if o.confirmed {
+				// Our write-through completed: apply it, claim Reserved.
+				e.Data[o.offset] = o.value
+				e.State = Reserved
+				if p.pend != nil && p.pend.line == o.line && p.pend.write {
+					p.complete(0)
+				}
+				return
+			}
+			// Our copy was invalidated while we waited for the bus: the
+			// write-through is void; retry as a write miss.
+			p.miss(opReadInv)
+		} else if o.confirmed && have {
+			p.cache.Invalidate(o.line)
+			p.invalidations++
+		}
+	}
+}
+
+// fill installs the transaction's data block at the originator and
+// completes the processor request.
+func (p *Processor) fill(o *op, state cache.State) {
+	if p.pend == nil || p.pend.line != o.line {
+		panic(fmt.Sprintf("singlebus: processor %d fill without matching request", p.id))
+	}
+	p.cache.Insert(o.line, state, o.data)
+	e, _ := p.cache.Lookup(o.line)
+	r := p.pend
+	if r.write {
+		e.Data[r.offset] = r.value
+		p.complete(0)
+		return
+	}
+	p.complete(e.Data[r.offset])
+}
+
+type procAgent struct{ p *Processor }
+
+func (a procAgent) Probe(b *bus.Bus, pkt bus.Packet) { a.p.probe(pkt.(*op)) }
+func (a procAgent) Snoop(b *bus.Bus, pkt bus.Packet) { a.p.snoop(pkt.(*op)) }
+
+// Ctx runs programs on the baseline machine, mirroring core.Ctx.
+type Ctx struct {
+	proc *sim.Proc
+	p    *Processor
+}
+
+// Spawn runs fn as a program on processor id.
+func (m *Machine) Spawn(id int, fn func(*Ctx)) {
+	p := m.procs[id]
+	m.k.Spawn(fmt.Sprintf("cpu%d", id), func(proc *sim.Proc) {
+		fn(&Ctx{proc: proc, p: p})
+	})
+}
+
+// ID returns the processor id.
+func (c *Ctx) ID() int { return c.p.id }
+
+// Now returns simulated time.
+func (c *Ctx) Now() sim.Time { return c.proc.Now() }
+
+// Sleep models local computation.
+func (c *Ctx) Sleep(d sim.Time) { c.proc.Sleep(d) }
+
+// Load blocks for a read.
+func (c *Ctx) Load(addr Addr) uint64 {
+	var v uint64
+	c.proc.Suspend(func(wake func()) {
+		c.p.LoadAsync(addr, func(got uint64) { v = got; wake() })
+	})
+	return v
+}
+
+// Store blocks for a write.
+func (c *Ctx) Store(addr Addr, value uint64) {
+	c.proc.Suspend(func(wake func()) {
+		c.p.StoreAsync(addr, value, func() { wake() })
+	})
+}

@@ -1,0 +1,229 @@
+package singlebus
+
+import (
+	"fmt"
+	"testing"
+
+	"multicube/internal/sim"
+)
+
+func newM(t *testing.T, procs int) *Machine {
+	t.Helper()
+	m, err := New(Config{Processors: procs, BlockWords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func quiet(t *testing.T, m *Machine) {
+	t.Helper()
+	for _, e := range CheckInvariants(m) {
+		t.Errorf("invariant: %v", e)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Processors: 0}); err == nil {
+		t.Error("0 processors accepted")
+	}
+	m := newM(t, 4)
+	if m.Processors() != 4 {
+		t.Errorf("Processors() = %d", m.Processors())
+	}
+}
+
+func TestReadMissFromMemory(t *testing.T) {
+	m := newM(t, 2)
+	m.SeedMemory(0, []uint64{1, 2, 3, 4})
+	var got uint64
+	m.Spawn(0, func(c *Ctx) { got = c.Load(2) })
+	m.Run()
+	if got != 3 {
+		t.Fatalf("load = %d, want 3", got)
+	}
+	e, ok := m.Processor(0).Cache().Lookup(0)
+	if !ok || e.State != Valid {
+		t.Error("line not Valid after read miss")
+	}
+	quiet(t, m)
+}
+
+func TestWriteOnceStateProgression(t *testing.T) {
+	// Valid → (first write) Reserved → (second write) Dirty.
+	m := newM(t, 2)
+	m.Spawn(0, func(c *Ctx) {
+		c.Load(0)
+		p := m.Processor(0)
+		c.Store(0, 10)
+		if e, _ := p.Cache().Lookup(0); e == nil || e.State != Reserved {
+			t.Error("line not Reserved after first write")
+		}
+		c.Store(1, 20)
+		if e, _ := p.Cache().Lookup(0); e == nil || e.State != Dirty {
+			t.Error("line not Dirty after second write")
+		}
+	})
+	m.Run()
+	// The first write went through to memory.
+	if m.mem.store.Peek(0)[0] != 10 {
+		t.Error("write-through did not reach memory")
+	}
+	quiet(t, m)
+}
+
+func TestWriteThroughInvalidatesSharers(t *testing.T) {
+	m := newM(t, 3)
+	m.SeedMemory(0, []uint64{7})
+	var sawOld, sawNew uint64
+	m.Spawn(1, func(c *Ctx) { sawOld = c.Load(0) })
+	m.Spawn(2, func(c *Ctx) { c.Load(0) })
+	m.Spawn(0, func(c *Ctx) {
+		c.Sleep(50 * sim.Microsecond)
+		c.Load(0)
+		c.Store(0, 99)
+	})
+	m.Run()
+	if sawOld != 7 {
+		t.Errorf("initial read = %d", sawOld)
+	}
+	if _, ok := m.Processor(1).Cache().Lookup(0); ok {
+		t.Error("sharer 1 not invalidated by write-through")
+	}
+	m2 := m.Processor(1)
+	_ = m2
+	// A later read must see the new value.
+	mm := m
+	mm.Spawn(1, func(c *Ctx) { sawNew = c.Load(0) })
+	mm.Run()
+	if sawNew != 99 {
+		t.Errorf("read after write = %d, want 99", sawNew)
+	}
+	quiet(t, m)
+}
+
+func TestDirtyCacheSuppliesData(t *testing.T) {
+	m := newM(t, 2)
+	var got uint64
+	m.Spawn(0, func(c *Ctx) {
+		c.Store(0, 1) // write miss → Dirty
+		c.Store(0, 2) // still Dirty
+	})
+	m.Spawn(1, func(c *Ctx) {
+		c.Sleep(100 * sim.Microsecond)
+		got = c.Load(0)
+	})
+	m.Run()
+	if got != 2 {
+		t.Fatalf("read from dirty peer = %d, want 2", got)
+	}
+	// Supplying the data updated memory and downgraded the holder.
+	if m.mem.store.Peek(0)[0] != 2 {
+		t.Error("memory not updated by cache-supplied data")
+	}
+	e, _ := m.Processor(0).Cache().Lookup(0)
+	if e == nil || e.State != Valid {
+		t.Error("dirty holder not downgraded to Valid")
+	}
+	quiet(t, m)
+}
+
+func TestWriteMissInvalidatesAndDirties(t *testing.T) {
+	m := newM(t, 3)
+	m.SeedMemory(0, []uint64{5})
+	m.Spawn(1, func(c *Ctx) { c.Load(0) })
+	m.Spawn(0, func(c *Ctx) {
+		c.Sleep(30 * sim.Microsecond)
+		c.Store(0, 9)
+	})
+	m.Run()
+	if _, ok := m.Processor(1).Cache().Lookup(0); ok {
+		t.Error("sharer survived read-invalidate")
+	}
+	e, _ := m.Processor(0).Cache().Lookup(0)
+	if e == nil || e.State != Dirty || e.Data[0] != 9 {
+		t.Error("writer does not hold dirty line with new value")
+	}
+	quiet(t, m)
+}
+
+func TestDirtyVictimWrittenBack(t *testing.T) {
+	m, err := New(Config{Processors: 2, BlockWords: 4, CacheLines: 2, CacheAssoc: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Spawn(0, func(c *Ctx) {
+		c.Store(0, 11) // line 0 dirty (two stores: miss fill is dirty already)
+		c.Store(4, 22) // line 1
+		c.Load(8)      // line 2 evicts LRU (line 0)
+	})
+	m.Run()
+	if m.mem.store.Peek(0)[0] != 11 {
+		t.Error("dirty victim not written back")
+	}
+	quiet(t, m)
+}
+
+func TestSharedCounterCoherent(t *testing.T) {
+	m := newM(t, 4)
+	// Simple lock-free alternating counter: each processor increments its
+	// own word, then reads everyone's and checks monotonicity.
+	m.SeedMemory(0, make([]uint64, 4))
+	for id := 0; id < 4; id++ {
+		m.Spawn(id, func(c *Ctx) {
+			for i := 0; i < 10; i++ {
+				v := c.Load(Addr(c.ID()))
+				c.Store(Addr(c.ID()), v+1)
+			}
+		})
+	}
+	m.Run()
+	for id := 0; id < 4; id++ {
+		if got := m.ReadCoherent(Addr(id)); got != 10 {
+			t.Errorf("counter %d = %d, want 10", id, got)
+		}
+	}
+	quiet(t, m)
+}
+
+func TestSingleBusDeterminism(t *testing.T) {
+	run := func() (sim.Time, string) {
+		m := newM(t, 4)
+		for id := 0; id < 4; id++ {
+			m.Spawn(id, func(c *Ctx) {
+				for i := 0; i < 8; i++ {
+					a := Addr((c.ID()*3 + i*5) % 16)
+					if i%2 == 0 {
+						c.Store(a, uint64(c.ID()+i))
+					} else {
+						c.Load(a)
+					}
+				}
+			})
+		}
+		end := m.Run()
+		fp := ""
+		for a := Addr(0); a < 16; a++ {
+			fp += fmt.Sprint(m.ReadCoherent(a), ",")
+		}
+		return end, fp
+	}
+	t1, f1 := run()
+	t2, f2 := run()
+	if t1 != t2 || f1 != f2 {
+		t.Fatal("nondeterministic baseline runs")
+	}
+}
+
+func TestTxnStats(t *testing.T) {
+	m := newM(t, 2)
+	m.Spawn(0, func(c *Ctx) {
+		c.Load(0)
+		c.Load(64)
+	})
+	m.Run()
+	count, mean := m.TxnStats()
+	if count != 2 || mean == 0 {
+		t.Errorf("TxnStats = (%d, %v)", count, mean)
+	}
+}

@@ -1,0 +1,207 @@
+// Package stats provides the small reporting toolkit the benchmark
+// harness uses: aligned text tables, CSV output, and figure series (one
+// row per x value, one column per curve) matching how the paper's
+// figures read.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is an aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are rendered with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Render returns the aligned table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV returns the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Label  string
+	Points map[float64]float64
+}
+
+// Figure holds a family of curves over a shared x axis — the shape of the
+// paper's Figures 2-4.
+type Figure struct {
+	Title  string
+	XLabel string
+	series []*Series
+}
+
+// NewFigure returns an empty figure.
+func NewFigure(title, xlabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel}
+}
+
+// Series returns (creating if needed) the curve with the given label.
+func (f *Figure) Series(label string) *Series {
+	for _, s := range f.series {
+		if s.Label == label {
+			return s
+		}
+	}
+	s := &Series{Label: label, Points: make(map[float64]float64)}
+	f.series = append(f.series, s)
+	return s
+}
+
+// Add records one point on the labeled curve.
+func (f *Figure) Add(label string, x, y float64) {
+	f.Series(label).Points[x] = y
+}
+
+// Table renders the figure as a table: one row per x, one column per
+// curve, in insertion order.
+func (f *Figure) Table() *Table {
+	headers := []string{f.XLabel}
+	for _, s := range f.series {
+		headers = append(headers, s.Label)
+	}
+	t := NewTable(f.Title, headers...)
+	xsSet := map[float64]bool{}
+	for _, s := range f.series {
+		for x := range s.Points {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		cells := []interface{}{x}
+		for _, s := range f.series {
+			if y, ok := s.Points[x]; ok {
+				cells = append(cells, y)
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Render renders the figure's table.
+func (f *Figure) Render() string { return f.Table().Render() }
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Crossover returns the first x at which series a falls below series b,
+// scanning their shared x values in ascending order; ok is false when
+// they never cross.
+func Crossover(a, b *Series) (x float64, ok bool) {
+	var xs []float64
+	for v := range a.Points {
+		if _, shared := b.Points[v]; shared {
+			xs = append(xs, v)
+		}
+	}
+	sort.Float64s(xs)
+	for _, v := range xs {
+		if a.Points[v] < b.Points[v] {
+			return v, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 123456)
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name ") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows() = %d", tb.Rows())
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(0.123456)
+	tb.AddRow(1000.0)
+	tb.AddRow(123.456)
+	out := tb.CSV()
+	for _, want := range []string{"0.1235", "1000", "123.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow(1, "two")
+	got := tb.CSV()
+	want := "a,b\n1,two\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	f := NewFigure("Figure 2", "rate")
+	f.Add("n=8", 10, 0.99)
+	f.Add("n=8", 20, 0.95)
+	f.Add("n=32", 10, 0.90)
+	f.Add("n=32", 20, 0.80)
+	out := f.Render()
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "n=32") {
+		t.Fatalf("render:\n%s", out)
+	}
+	// Rows sorted by x.
+	i10 := strings.Index(out, "10")
+	i20 := strings.Index(out, "20")
+	if i10 < 0 || i20 < 0 || i10 > i20 {
+		t.Errorf("x values out of order:\n%s", out)
+	}
+	// Missing points render as blanks, not zeros.
+	f.Add("n=8", 30, 0.5)
+	tbl := f.Table()
+	if tbl.Rows() != 3 {
+		t.Errorf("rows = %d, want 3", tbl.Rows())
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g", got)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	f := NewFigure("", "x")
+	for x := 1.0; x <= 5; x++ {
+		f.Add("a", x, 10-x) // falling
+		f.Add("b", x, 2*x)  // rising
+	}
+	x, ok := Crossover(f.Series("a"), f.Series("b"))
+	if !ok || x != 4 {
+		t.Errorf("Crossover = (%g, %v), want (4, true)", x, ok)
+	}
+	f2 := NewFigure("", "x")
+	f2.Add("a", 1, 5)
+	f2.Add("b", 1, 1)
+	if _, ok := Crossover(f2.Series("a"), f2.Series("b")); ok {
+		t.Error("phantom crossover")
+	}
+}

@@ -1,0 +1,59 @@
+package syncprim
+
+import (
+	"multicube/internal/core"
+	"multicube/internal/sim"
+)
+
+// Locker is any of this package's locks.
+type Locker interface {
+	Lock(c *core.Ctx)
+	Unlock(c *core.Ctx)
+}
+
+// Barrier is a sense-reversing centralized barrier over shared memory:
+// arrivals increment a counter under a lock; the last arrival flips the
+// sense word, whose invalidation broadcast releases the spinners. With a
+// QueueLock protecting the counter this is the paper's Section 4 sketch
+// of barrier synchronization via the distributed queue: the counter
+// travels around the FIFO queue of arrivals by direct cache-to-cache
+// handoff, and only the final sense flip costs a broadcast.
+type Barrier struct {
+	// Lock protects the arrival counter; its lock line should contain
+	// CountAddr so the counter travels with the lock.
+	Lock Locker
+	// CountAddr holds the arrival count.
+	CountAddr core.Addr
+	// SenseAddr holds the global sense, on its own line.
+	SenseAddr core.Addr
+	// N is the number of participants.
+	N int
+	// Poll is the spin re-check interval; zero selects 1 µs.
+	Poll sim.Time
+}
+
+// Sense is each participant's private sense state; zero value ready.
+type Sense struct{ local uint64 }
+
+// Wait blocks (in simulated time) until all N participants arrive.
+func (b *Barrier) Wait(c *core.Ctx, s *Sense) {
+	poll := b.Poll
+	if poll == 0 {
+		poll = 1 * sim.Microsecond
+	}
+	s.local ^= 1
+	b.Lock.Lock(c)
+	count := c.Load(b.CountAddr) + 1
+	if int(count) == b.N {
+		// Last arrival: reset the counter and release everyone.
+		c.Store(b.CountAddr, 0)
+		b.Lock.Unlock(c)
+		c.Store(b.SenseAddr, s.local)
+		return
+	}
+	c.Store(b.CountAddr, count)
+	b.Lock.Unlock(c)
+	for c.Load(b.SenseAddr) != s.local {
+		c.Sleep(poll)
+	}
+}

@@ -1,0 +1,142 @@
+// Package syncprim builds the synchronization primitives of Section 4 on
+// top of the machine's coherent shared memory: the remote test-and-set
+// spin lock, the test-and-test-and-set spin lock it improves on, the SYNC
+// distributed queue lock that collapses contended-lock bus traffic to a
+// handoff per critical section, and barriers (sense-reversing, plus the
+// queue-based variant the paper sketches).
+//
+// All primitives operate on a lock line: a coherency block whose word 0
+// is the lock word and word 1 is protocol-owned (the SYNC link word).
+// Application data may share the rest of the line — the counter examples
+// in the tests do exactly that, mirroring the paper's suggestion that a
+// lock travels with the data it protects.
+package syncprim
+
+import (
+	"multicube/internal/core"
+	"multicube/internal/sim"
+)
+
+// Backoff tunes spin loops: how long a processor waits between failed
+// lock attempts. The paper's Test-and-Test-and-Set discussion assumes
+// spinning on a cached copy; the delay models the re-check interval.
+type Backoff struct {
+	// Initial is the first retry delay; zero selects 500 ns.
+	Initial sim.Time
+	// Max caps exponential growth; zero selects 16× Initial.
+	Max sim.Time
+}
+
+func (b Backoff) initial() sim.Time {
+	if b.Initial == 0 {
+		return 500 * sim.Nanosecond
+	}
+	return b.Initial
+}
+
+func (b Backoff) max() sim.Time {
+	if b.Max == 0 {
+		return 16 * b.initial()
+	}
+	return b.Max
+}
+
+// TASLock is the plain remote test-and-set spin lock: every attempt is a
+// bus transaction unless a local copy short-circuits it.
+type TASLock struct {
+	Addr    core.Addr
+	Backoff Backoff
+}
+
+// Lock spins until the test-and-set succeeds.
+func (l *TASLock) Lock(c *core.Ctx) {
+	d := l.Backoff.initial()
+	for !c.TestAndSet(l.Addr) {
+		c.Sleep(d)
+		if d *= 2; d > l.Backoff.max() {
+			d = l.Backoff.max()
+		}
+	}
+}
+
+// Unlock clears the lock word with an ordinary store.
+func (l *TASLock) Unlock(c *core.Ctx) {
+	c.Store(l.Addr, 0)
+}
+
+// TTSLock is Test-and-Test-and-Set [RuSe84]: spin reading the (cached)
+// lock word and attempt the test-and-set only when it reads free. On this
+// machine the hardware already refuses a bus transaction for a shared
+// copy that shows the lock held, so TTS mainly reduces failed remote
+// attempts when no copy is cached.
+type TTSLock struct {
+	Addr    core.Addr
+	Backoff Backoff
+}
+
+// Lock spins until acquired.
+func (l *TTSLock) Lock(c *core.Ctx) {
+	d := l.Backoff.initial()
+	for {
+		for c.Load(l.Addr) != 0 {
+			c.Sleep(d)
+			if d *= 2; d > l.Backoff.max() {
+				d = l.Backoff.max()
+			}
+		}
+		if c.TestAndSet(l.Addr) {
+			return
+		}
+		c.Sleep(d)
+	}
+}
+
+// Unlock clears the lock word.
+func (l *TTSLock) Unlock(c *core.Ctx) {
+	c.Store(l.Addr, 0)
+}
+
+// QueueLock is the SYNC distributed queue lock: waiters enqueue with a
+// single SYNC transaction and receive the lock line by direct cache-to-
+// cache handoff in FIFO order. When the queue path degenerates (the paper
+// allows SYNC to be treated as a hint), the lock falls back to spinning
+// remote test-and-set, which guarantees correctness.
+type QueueLock struct {
+	Addr    core.Addr
+	Backoff Backoff
+
+	// acquisitions and fallbacks are counters for the benches.
+	acquisitions uint64
+	fallbacks    uint64
+}
+
+// Lock acquires the lock, queueing when contended.
+func (l *QueueLock) Lock(c *core.Ctx) {
+	l.acquisitions++
+	r := c.SyncAcquire(l.Addr)
+	if r.Acquired {
+		return
+	}
+	// Degenerate path: spin with test-and-set.
+	l.fallbacks++
+	d := l.Backoff.initial()
+	for !c.TestAndSet(l.Addr) {
+		c.Sleep(d)
+		if d *= 2; d > l.Backoff.max() {
+			d = l.Backoff.max()
+		}
+	}
+}
+
+// Unlock hands the lock line to the next queued waiter, or clears the
+// lock word (in cache, or in software when the line was lost).
+func (l *QueueLock) Unlock(c *core.Ctx) {
+	if !c.SyncRelease(l.Addr) {
+		c.Store(l.Addr, 0)
+	}
+}
+
+// Stats reports acquisitions and degenerate fallbacks.
+func (l *QueueLock) Stats() (acquisitions, fallbacks uint64) {
+	return l.acquisitions, l.fallbacks
+}

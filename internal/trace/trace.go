@@ -1,0 +1,195 @@
+// Package trace records and replays memory reference traces. The paper's
+// evaluation lamented that "very little data has been published on the
+// memory reference behavior of parallel programs"; the trace format lets
+// any workload this repository generates be captured once and replayed
+// against different machine configurations (block sizes, cache sizes,
+// arbitration policies) for controlled comparisons.
+//
+// Two codecs are provided: a line-oriented text form ("p R|W addr") for
+// inspection, and a compact binary form (varint-delta encoded) for bulk
+// traces.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// OpKind distinguishes reads and writes.
+type OpKind uint8
+
+const (
+	Read OpKind = iota
+	Write
+)
+
+func (k OpKind) String() string {
+	if k == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// Record is one memory reference.
+type Record struct {
+	Proc int
+	Kind OpKind
+	Addr uint64
+}
+
+// Trace is an in-memory reference stream in global issue order.
+type Trace struct {
+	Records []Record
+}
+
+// Append adds a record.
+func (t *Trace) Append(proc int, kind OpKind, addr uint64) {
+	t.Records = append(t.Records, Record{Proc: proc, Kind: kind, Addr: addr})
+}
+
+// Len returns the record count.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// PerProc splits the trace into per-processor subsequences, preserving
+// order within each processor.
+func (t *Trace) PerProc() map[int][]Record {
+	out := make(map[int][]Record)
+	for _, r := range t.Records {
+		out[r.Proc] = append(out[r.Proc], r)
+	}
+	return out
+}
+
+// WriteText encodes the trace as one "proc kind addr" line per record.
+func (t *Trace) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range t.Records {
+		if _, err := fmt.Fprintf(bw, "%d %s %d\n", r.Proc, r.Kind, r.Addr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText decodes the text form.
+func ReadText(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want 'proc kind addr', got %q", lineNo, line)
+		}
+		proc, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad proc: %v", lineNo, err)
+		}
+		var kind OpKind
+		switch fields[1] {
+		case "R", "r":
+			kind = Read
+		case "W", "w":
+			kind = Write
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad kind %q", lineNo, fields[1])
+		}
+		addr, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad addr: %v", lineNo, err)
+		}
+		t.Append(proc, kind, addr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// binaryMagic guards the binary codec.
+var binaryMagic = [4]byte{'M', 'C', 'T', '1'}
+
+// WriteBinary encodes the trace compactly: a magic header, the record
+// count, then per record a varint proc, one kind byte, and a zigzag
+// varint address delta from the previous address of that processor.
+func (t *Trace) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := put(uint64(len(t.Records))); err != nil {
+		return err
+	}
+	last := make(map[int]uint64)
+	for _, r := range t.Records {
+		if err := put(uint64(r.Proc)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(r.Kind)); err != nil {
+			return err
+		}
+		delta := int64(r.Addr) - int64(last[r.Proc])
+		if err := put(zigzag(delta)); err != nil {
+			return err
+		}
+		last[r.Proc] = r.Addr
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes the binary form.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	t := &Trace{Records: make([]Record, 0, count)}
+	last := make(map[int]uint64)
+	for i := uint64(0); i < count; i++ {
+		proc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d proc: %w", i, err)
+		}
+		kindByte, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d kind: %w", i, err)
+		}
+		if kindByte > 1 {
+			return nil, fmt.Errorf("trace: record %d: bad kind %d", i, kindByte)
+		}
+		zz, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d addr: %w", i, err)
+		}
+		addr := uint64(int64(last[int(proc)]) + unzigzag(zz))
+		last[int(proc)] = addr
+		t.Records = append(t.Records, Record{Proc: int(proc), Kind: OpKind(kindByte), Addr: addr})
+	}
+	return t, nil
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"multicube/internal/core"
+	"multicube/internal/sim"
+	"multicube/internal/syncprim"
+)
+
+// This file holds reusable parallel kernels — realistic programs that run
+// on the simulated shared memory through the blocking Ctx API. The
+// examples and integration tests build on them.
+
+// MatMulLayout maps a square matrix multiply C = A×B onto shared memory:
+// row-major matrices of Dim×Dim words at the given bases.
+type MatMulLayout struct {
+	Dim                 int
+	ABase, BBase, CBase core.Addr
+	// MACTime models the processor's multiply-accumulate cost per inner
+	// product step; zero means computation is free and only memory
+	// latency is simulated.
+	MACTime sim.Time
+}
+
+// At returns the address of element (i, j) of a matrix at base.
+func (l MatMulLayout) At(base core.Addr, i, j int) core.Addr {
+	return base + core.Addr(i*l.Dim+j)
+}
+
+// SeedMatrices fills A and B with simple deterministic values:
+// A[i][j] = i+1, B[i][j] = j+1, so C[i][j] = (i+1)*(j+1)*Dim.
+func SeedMatrices(m *core.Machine, l MatMulLayout) {
+	row := make([]uint64, l.Dim)
+	for i := 0; i < l.Dim; i++ {
+		for j := range row {
+			row[j] = uint64(i + 1)
+		}
+		m.SeedMemory(l.At(l.ABase, i, 0), row)
+		for j := range row {
+			row[j] = uint64(j + 1)
+		}
+		m.SeedMemory(l.At(l.BBase, i, 0), row)
+	}
+}
+
+// MatMulWorker computes the rows of C assigned to worker id out of
+// workers, using ALLOCATE for the fully-overwritten output lines when
+// the row length spans whole blocks (the paper's intended use of the
+// allocate hint: "cases where entire blocks are to be written").
+func MatMulWorker(c *core.Ctx, l MatMulLayout, id, workers int) {
+	bw := c.Machine().BlockWords()
+	for i := id; i < l.Dim; i += workers {
+		if l.Dim%bw == 0 {
+			for j := 0; j < l.Dim; j += bw {
+				c.Allocate(l.At(l.CBase, i, j))
+			}
+		}
+		for j := 0; j < l.Dim; j++ {
+			var sum uint64
+			for k := 0; k < l.Dim; k++ {
+				sum += c.Load(l.At(l.ABase, i, k)) * c.Load(l.At(l.BBase, k, j))
+				if l.MACTime > 0 {
+					c.Sleep(l.MACTime)
+				}
+			}
+			c.Store(l.At(l.CBase, i, j), sum)
+		}
+	}
+}
+
+// CheckMatMul verifies the product of SeedMatrices inputs.
+func CheckMatMul(m *core.Machine, l MatMulLayout) (bad int) {
+	for i := 0; i < l.Dim; i++ {
+		for j := 0; j < l.Dim; j++ {
+			want := uint64((i + 1) * (j + 1) * l.Dim)
+			if got := m.ReadCoherent(l.At(l.CBase, i, j)); got != want {
+				bad++
+			}
+		}
+	}
+	return bad
+}
+
+// StencilLayout is a 1-D iterative stencil (Jacobi smoothing) over Cells
+// words, with a barrier between iterations — the paper's "large-scale
+// simulation models" workload class.
+type StencilLayout struct {
+	Cells      int
+	SrcBase    core.Addr
+	DstBase    core.Addr
+	LockAddr   core.Addr // barrier lock line
+	CountAddr  core.Addr // arrival counter (same line as the lock)
+	SenseAddr  core.Addr // barrier sense (its own line)
+	Iterations int
+}
+
+// StencilWorker runs worker id of workers through the iterations,
+// averaging each interior cell with its neighbours (integer mean), and
+// swapping source and destination each round.
+func StencilWorker(c *core.Ctx, l StencilLayout, id, workers int, barrier *syncprim.Barrier) {
+	var s syncprim.Sense
+	src, dst := l.SrcBase, l.DstBase
+	for it := 0; it < l.Iterations; it++ {
+		for i := 1 + id; i < l.Cells-1; i += workers {
+			left := c.Load(src + core.Addr(i-1))
+			mid := c.Load(src + core.Addr(i))
+			right := c.Load(src + core.Addr(i+1))
+			c.Store(dst+core.Addr(i), (left+mid+right)/3)
+		}
+		barrier.Wait(c, &s)
+		src, dst = dst, src
+	}
+}
+
+// WorkQueue is a shared FIFO of task ids protected by a queue lock: a
+// producer/consumer structure of the kind Section 4 motivates. Layout:
+// the lock line holds head, tail and capacity; slots follow.
+type WorkQueue struct {
+	Lock     *syncprim.QueueLock
+	HeadAddr core.Addr // word on the lock line
+	TailAddr core.Addr // word on the lock line
+	SlotBase core.Addr
+	Capacity int
+}
+
+// NewWorkQueue lays out a queue whose control words share the lock line.
+func NewWorkQueue(lockLine core.Addr, slotBase core.Addr, capacity int) *WorkQueue {
+	return &WorkQueue{
+		Lock:     &syncprim.QueueLock{Addr: lockLine},
+		HeadAddr: lockLine + 2, // words 0,1 are lock and link
+		TailAddr: lockLine + 3,
+		SlotBase: slotBase,
+		Capacity: capacity,
+	}
+}
+
+// Push appends a task, spinning while the queue is full.
+func (q *WorkQueue) Push(c *core.Ctx, task uint64) {
+	for {
+		q.Lock.Lock(c)
+		head := c.Load(q.HeadAddr)
+		tail := c.Load(q.TailAddr)
+		if tail-head < uint64(q.Capacity) {
+			c.Store(q.SlotBase+core.Addr(tail%uint64(q.Capacity)), task)
+			c.Store(q.TailAddr, tail+1)
+			q.Lock.Unlock(c)
+			return
+		}
+		q.Lock.Unlock(c)
+		c.Sleep(2 * sim.Microsecond)
+	}
+}
+
+// Pop removes a task; ok is false when the queue is empty.
+func (q *WorkQueue) Pop(c *core.Ctx) (task uint64, ok bool) {
+	q.Lock.Lock(c)
+	head := c.Load(q.HeadAddr)
+	tail := c.Load(q.TailAddr)
+	if head == tail {
+		q.Lock.Unlock(c)
+		return 0, false
+	}
+	task = c.Load(q.SlotBase + core.Addr(head%uint64(q.Capacity)))
+	c.Store(q.HeadAddr, head+1)
+	q.Lock.Unlock(c)
+	return task, true
+}

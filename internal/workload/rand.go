@@ -1,0 +1,49 @@
+// Package workload drives the simulated machines: a parameterized
+// synthetic reference generator (the statistical workloads the paper's
+// evaluation assumes, Section 5: "the simulation must be based on
+// statistical distributions of references and reference types"), plus
+// reusable parallel kernels for the examples and integration tests.
+package workload
+
+import "math"
+
+// Rand is SplitMix64: a tiny, fast, seedable PRNG. All randomness in the
+// simulator flows through explicit seeds so runs are reproducible.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next raw value.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int { return int(r.Uint64() % uint64(n)) }
+
+// Float64 returns a uniform float in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed value with the given mean,
+// via inverse transform, truncated at 20× the mean to keep single
+// outliers from dominating short runs.
+func (r *Rand) Exp(mean float64) float64 {
+	u := r.Float64()
+	if u >= 0.999999 {
+		u = 0.999999
+	}
+	x := -mean * math.Log(1-u)
+	if x > 20*mean {
+		x = 20 * mean
+	}
+	return x
+}

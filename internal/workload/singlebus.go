@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"multicube/internal/sim"
+	"multicube/internal/singlebus"
+)
+
+// RunSingleBus drives the single-bus baseline with the same synthetic
+// workload as Run, for the multi-versus-Multicube comparison (the paper's
+// framing: multis are "limited to some tens of processors").
+func RunSingleBus(m *singlebus.Machine, cfg GenConfig) Report {
+	cfg.fillDefaults()
+	var rep Report
+	procs := m.Processors()
+	const blockWords = 16 // matches the baseline's default
+	bw := singlebus.Addr(blockWords)
+	sharedBase := singlebus.Addr(procs) * singlebus.Addr(cfg.PrivateLines) * bw
+
+	k := m.Kernel()
+	for id := 0; id < procs; id++ {
+		id := id
+		rng := NewRand(cfg.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
+		privBase := singlebus.Addr(id) * singlebus.Addr(cfg.PrivateLines) * bw
+
+		var loop func(remaining int)
+		loop = func(remaining int) {
+			if remaining == 0 {
+				return
+			}
+			think := cfg.Think
+			if cfg.Exponential {
+				think = sim.Time(rng.Exp(float64(cfg.Think)))
+			}
+			rep.ThinkTime += think
+			k.After(think, func() {
+				var addr singlebus.Addr
+				if rng.Float64() < cfg.PShared {
+					addr = sharedBase + singlebus.Addr(rng.Intn(cfg.SharedLines))*bw + singlebus.Addr(rng.Intn(int(bw)))
+				} else {
+					addr = privBase + singlebus.Addr(rng.Intn(cfg.PrivateLines))*bw + singlebus.Addr(rng.Intn(int(bw)))
+				}
+				issued := k.Now()
+				finish := func() {
+					rep.StallTime += k.Now() - issued
+					rep.References++
+					loop(remaining - 1)
+				}
+				if rng.Float64() < cfg.PWrite {
+					m.Processor(id).StoreAsync(addr, rng.Uint64(), finish)
+				} else {
+					m.Processor(id).LoadAsync(addr, func(uint64) { finish() })
+				}
+			})
+		}
+		loop(cfg.Requests)
+	}
+	rep.Elapsed = m.Run()
+	rep.BusTransactions, _ = m.TxnStats()
+	return rep
+}
