@@ -26,7 +26,12 @@ type renderable interface {
 func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit JSON Lines (one object per table row; see README for the schema)")
 	flag.Parse()
+	if *csv && *jsonOut {
+		fmt.Fprintln(os.Stderr, "multicube-bench: -csv and -json are mutually exclusive")
+		os.Exit(2)
+	}
 
 	runs := []struct {
 		name string
@@ -57,10 +62,19 @@ func main() {
 		}
 		found = true
 		out := r.make()
-		if *csv {
-			if t, ok := out.(*stats.Table); ok {
+		if t, ok := out.(*stats.Table); ok {
+			switch {
+			case *csv:
 				fmt.Print(t.CSV())
 				fmt.Println()
+				continue
+			case *jsonOut:
+				lines, err := t.JSONRows(r.name)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "multicube-bench: %s: %v\n", r.name, err)
+					os.Exit(1)
+				}
+				fmt.Print(lines)
 				continue
 			}
 		}

@@ -68,6 +68,21 @@ type pending struct {
 	enqueued sim.Time
 }
 
+// GrantTag tags the deferred-grant kernel event of a bus (model-checking
+// mode only): when it fires, the bus picks one queued request to grant.
+type GrantTag struct{ B *Bus }
+
+func (t GrantTag) String() string { return t.B.name + " grant" }
+
+// DeliverTag tags the delivery event of a granted bus operation: when it
+// fires, the operation's occupancy ends and every agent snoops it.
+type DeliverTag struct {
+	B   *Bus
+	Pkt Packet
+}
+
+func (t DeliverTag) String() string { return fmt.Sprintf("%s deliver %v", t.B.name, t.Pkt) }
+
 // Bus is one row or column bus.
 type Bus struct {
 	k      *sim.Kernel
@@ -80,6 +95,19 @@ type Bus struct {
 	queued int
 	busy   bool
 	last   int // last granted attach index (RoundRobin)
+
+	// chooser, when set, arbitrates among all queued requests in place
+	// of the configured policy; candidate 0 is the policy's own pick, so
+	// a default chooser changes nothing.
+	chooser sim.Chooser
+	// deferGrants decouples enqueue from grant (model-checking mode): a
+	// Request on an idle bus schedules a zero-delay tagged grant event
+	// instead of granting inline, so requests enqueued "simultaneously"
+	// all reach arbitration before any is granted.
+	deferGrants  bool
+	grantPending bool
+	// inflight is the granted operation whose occupancy is running.
+	inflight Packet
 
 	stats Stats
 }
@@ -106,6 +134,34 @@ func (b *Bus) Attach(a Agent) int {
 	return len(b.agents) - 1
 }
 
+// SetChooser routes arbitration through ch (nil restores the configured
+// policy). deferGrants additionally decouples enqueue from grant so that
+// a model checker sees every queued request as a grant candidate.
+func (b *Bus) SetChooser(ch sim.Chooser, deferGrants bool) {
+	b.chooser = ch
+	b.deferGrants = deferGrants
+}
+
+// Busy reports whether an operation currently holds the bus.
+func (b *Bus) Busy() bool { return b.busy }
+
+// Inflight returns the operation holding the bus, or nil.
+func (b *Bus) Inflight() Packet { return b.inflight }
+
+// ForEachQueued visits every queued (not yet granted) operation in
+// arbitration-queue order. Model checkers include the queues in state
+// fingerprints.
+func (b *Bus) ForEachQueued(fn func(src int, pkt Packet)) {
+	for _, p := range b.fifo {
+		fn(p.src, p.pkt)
+	}
+	for _, q := range b.perSrc {
+		for _, p := range q {
+			fn(p.src, p.pkt)
+		}
+	}
+}
+
 // Request enqueues a bus operation from the agent with attach index src.
 // The operation is granted according to the arbitration policy, holds the
 // bus for pkt.Occupancy(), and is then delivered to every agent.
@@ -124,14 +180,40 @@ func (b *Bus) Request(src int, pkt Packet) {
 		b.stats.MaxQueued = b.queued
 	}
 	if !b.busy {
-		b.grant()
+		if b.deferGrants {
+			b.scheduleGrant()
+		} else {
+			b.grant()
+		}
 	}
 }
 
-// next pops the operation to grant, per policy.
+// scheduleGrant arranges arbitration as its own zero-delay kernel event
+// (model-checking mode), so every request enqueued before the event fires
+// participates, and the model checker can reorder the grant against other
+// pending activity.
+func (b *Bus) scheduleGrant() {
+	if b.grantPending || b.queued == 0 {
+		return
+	}
+	b.grantPending = true
+	b.k.AfterTagged(0, GrantTag{b}, func() {
+		b.grantPending = false
+		if !b.busy {
+			b.grant()
+		}
+	})
+}
+
+// next pops the operation to grant, per policy — or, with a chooser
+// installed, the chooser's pick among the head request of every waiting
+// source (per-source order is a hardware FIFO and is never violated).
 func (b *Bus) next() (pending, bool) {
 	if b.queued == 0 {
 		return pending{}, false
+	}
+	if b.chooser != nil && b.queued > 1 {
+		return b.nextChosen(), true
 	}
 	if b.arb == FIFO {
 		p := b.fifo[0]
@@ -153,16 +235,69 @@ func (b *Bus) next() (pending, bool) {
 	return pending{}, false
 }
 
+// nextChosen asks the chooser to arbitrate. Candidates are the head
+// request of each waiting source, in policy order, so choice 0 is the
+// policy's own pick.
+func (b *Bus) nextChosen() pending {
+	type slot struct {
+		list *[]pending
+		idx  int
+	}
+	var slots []slot
+	var cands []sim.Candidate
+	add := func(list *[]pending, idx int) {
+		p := (*list)[idx]
+		slots = append(slots, slot{list, idx})
+		cands = append(cands, sim.Candidate{
+			Label: fmt.Sprintf("%s grant src%d %v", b.name, p.src, p.pkt),
+			Tag:   p.pkt,
+		})
+	}
+	if b.arb == FIFO {
+		seen := make(map[int]bool)
+		for i := range b.fifo {
+			if src := b.fifo[i].src; !seen[src] {
+				seen[src] = true
+				add(&b.fifo, i)
+			}
+		}
+	} else {
+		n := len(b.agents)
+		for i := 1; i <= n; i++ {
+			src := (b.last + i) % n
+			if len(b.perSrc[src]) > 0 {
+				add(&b.perSrc[src], 0)
+			}
+		}
+	}
+	idx := 0
+	if len(slots) > 1 {
+		idx = b.chooser.Choose(sim.ChoicePoint{Kind: "grant", Name: b.name}, cands)
+		if idx < 0 || idx >= len(slots) {
+			panic(fmt.Sprintf("bus %s: chooser picked %d of %d candidates", b.name, idx, len(slots)))
+		}
+	}
+	s := slots[idx]
+	p := (*s.list)[s.idx]
+	*s.list = append((*s.list)[:s.idx], (*s.list)[s.idx+1:]...)
+	b.queued--
+	if b.arb == RoundRobin {
+		b.last = p.src
+	}
+	return p
+}
+
 func (b *Bus) grant() {
 	p, ok := b.next()
 	if !ok {
 		return
 	}
 	b.busy = true
+	b.inflight = p.pkt
 	b.stats.WaitTime += b.k.Now() - p.enqueued
 	occ := p.pkt.Occupancy()
 	b.stats.BusyTime += occ
-	b.k.After(occ, func() {
+	b.k.AfterTagged(occ, DeliverTag{b, p.pkt}, func() {
 		b.stats.Ops++
 		// Phase 1: shared signal lines settle.
 		for _, a := range b.agents {
@@ -174,7 +309,12 @@ func (b *Bus) grant() {
 			a.Snoop(b, p.pkt)
 		}
 		b.busy = false
-		b.grant()
+		b.inflight = nil
+		if b.deferGrants {
+			b.scheduleGrant()
+		} else {
+			b.grant()
+		}
 	})
 }
 

@@ -529,6 +529,9 @@ func (n *Node) isQueuedTailFor(line cache.Line) bool {
 // poisonPendingRead marks an outstanding READ for line whose reply may now
 // deliver stale data.
 func (n *Node) poisonPendingRead(line cache.Line) {
+	if n.sys.DisableStaleReplyPoisoning {
+		return // test hook: reproduce the protocol gap of DESIGN.md §5.6a
+	}
 	if n.pend != nil && n.pend.txn == READ && n.pend.line == line {
 		n.pend.poisoned = true
 	}

@@ -37,7 +37,8 @@ func (m *Memory) issueAfter(d sim.Time, op *Op) {
 		m.sys.cols[m.col].Request(m.busIdx, op)
 		return
 	}
-	m.sys.k.After(d, func() { m.sys.cols[m.col].Request(m.busIdx, op) })
+	tag := EnqueueTag{Issuer: topology.Coord{Row: -1, Col: m.col}, Dim: Col, Op: op, bus: m.sys.cols[m.col]}
+	m.sys.k.AfterTagged(d, tag, func() { m.sys.cols[m.col].Request(m.busIdx, op) })
 }
 
 func (m *Memory) snoop(op *Op) {

@@ -156,7 +156,8 @@ func (n *Node) issueRowAfter(d sim.Time, op *Op) {
 		n.issueRow(op)
 		return
 	}
-	n.sys.k.After(d, func() { n.issueRow(op) })
+	tag := EnqueueTag{Issuer: n.id, Dim: Row, Op: op, bus: n.sys.rows[n.id.Row]}
+	n.sys.k.AfterTagged(d, tag, func() { n.issueRow(op) })
 }
 
 func (n *Node) issueColAfter(d sim.Time, op *Op) {
@@ -164,7 +165,8 @@ func (n *Node) issueColAfter(d sim.Time, op *Op) {
 		n.issueCol(op)
 		return
 	}
-	n.sys.k.After(d, func() { n.issueCol(op) })
+	tag := EnqueueTag{Issuer: n.id, Dim: Col, Op: op, bus: n.sys.cols[n.id.Col]}
+	n.sys.k.AfterTagged(d, tag, func() { n.issueCol(op) })
 }
 
 // --- processor interface ------------------------------------------------

@@ -1,0 +1,297 @@
+package coherence
+
+import (
+	"multicube/internal/bus"
+	"multicube/internal/cache"
+	"multicube/internal/memory"
+	"multicube/internal/sim"
+	"multicube/internal/topology"
+)
+
+// This file computes canonical fingerprints of a machine's complete
+// protocol state for the model checker's visited-state table. Two states
+// with equal fingerprints are (modulo hash collision) behaviorally
+// identical: every component that can influence future protocol behavior
+// is hashed, and everything that cannot — statistics, transaction traces,
+// absolute times — is excluded.
+//
+// Row symmetry: the protocol treats rows interchangeably (home columns
+// are a function of the line address alone), so the fingerprint accepts a
+// row relabeling and the checker takes the minimum over all of them.
+// Columns are NOT symmetric — the home-column interleaving pins each line
+// to a specific column bus — so no column relabeling is attempted.
+
+// fnv is an incremental FNV-1a 64 hasher.
+type fnv uint64
+
+const fnvOffset fnv = 14695981039346656037
+const fnvPrime fnv = 1099511628211
+
+func (h *fnv) byte(b byte) {
+	*h = (*h ^ fnv(b)) * fnvPrime
+}
+
+func (h *fnv) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+}
+
+func (h *fnv) bit(b bool) {
+	if b {
+		h.byte(1)
+	} else {
+		h.byte(0)
+	}
+}
+
+// Fingerprint hashes the complete protocol-visible machine state under
+// the given row relabeling: caches, modified line tables, pending
+// processor transactions, memory contents and valid bits, bus queues and
+// in-flight operations, and pending kernel events.
+//
+// perm maps physical row index to canonical row index; nil means
+// identity. extraTag, when non-nil, is consulted for kernel event tags
+// the coherence layer does not recognize (the model-check driver's own
+// events); it returns a stable hash contribution and true, or false to
+// hash the tag as an opaque unknown.
+//
+// Bus queues are hashed as per-source subsequences (sorted by canonical
+// source) rather than as a single interleaved sequence: with deferred
+// grants, arbitration order among distinct sources is a choice the
+// explorer already branches on, while per-source FIFO order is fixed by
+// the hardware.
+func (s *System) Fingerprint(perm []int, extraTag func(tag any) (uint64, bool)) uint64 {
+	n := s.cfg.N
+	if perm == nil {
+		perm = make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+	}
+	inv := make([]int, n)
+	for phys, canon := range perm {
+		inv[canon] = phys
+	}
+
+	h := fnvOffset
+
+	permRow := func(r int) int {
+		if r < 0 {
+			return r
+		}
+		return perm[r]
+	}
+
+	hashCoord := func(c topology.Coord) {
+		h.u64(uint64(int64(permRow(c.Row))))
+		h.u64(uint64(int64(c.Col)))
+	}
+
+	// opFP hashes one bus operation's protocol-visible fields. Transient
+	// probe-phase fields (modified/claimed/suppressed/...), the trace
+	// pointer, occupancy (a pure function of data presence) and the
+	// absolute birth time are excluded. When snarfing is enabled, the
+	// relation born <= purgedAt[line] per node IS protocol-visible (it
+	// gates the snarf), so it is folded in as one bit per node even
+	// though both absolute times are excluded.
+	hashOp := func(op *Op) {
+		h.byte(byte(op.Txn))
+		h.u64(uint64(op.Flags))
+		h.u64(uint64(op.Line))
+		hashCoord(op.Origin)
+		hashCoord(op.Target)
+		h.bit(op.Data != nil)
+		for _, w := range op.Data {
+			h.u64(w)
+		}
+		if s.cfg.Snarf && op.Txn == READ && op.Data != nil {
+			for cr := 0; cr < n; cr++ {
+				for c := 0; c < n; c++ {
+					nd := s.nodes[inv[cr]][c]
+					t, ok := nd.purgedAt[op.Line]
+					h.bit(ok && op.born <= t)
+				}
+			}
+		}
+	}
+
+	// Nodes, in canonical (row, col) order.
+	for cr := 0; cr < n; cr++ {
+		for c := 0; c < n; c++ {
+			nd := s.nodes[inv[cr]][c]
+			h.byte(0x01)
+			nd.l2.ForEach(func(e *cache.Entry) {
+				h.u64(uint64(e.Line))
+				h.byte(byte(e.State))
+				h.bit(e.Pinned)
+				for _, w := range e.Data {
+					h.u64(w)
+				}
+			})
+			h.byte(0x02)
+			for _, l := range nd.table.Lines() { // already sorted
+				h.u64(uint64(l))
+			}
+			h.byte(0x03)
+			h.bit(nd.pend != nil)
+			if p := nd.pend; p != nil {
+				h.byte(byte(p.txn))
+				h.u64(uint64(p.flags))
+				h.u64(uint64(p.line))
+				h.bit(p.poisoned)
+				h.bit(p.queued)
+			}
+			h.bit(nd.wbCont != nil)
+		}
+	}
+
+	// Memory modules, per column.
+	for c := 0; c < n; c++ {
+		h.byte(0x04)
+		s.mems[c].store.ForEach(func(line memory.Line, valid bool, data []uint64) {
+			h.u64(uint64(line))
+			h.bit(valid)
+			for _, w := range data {
+				h.u64(w)
+			}
+		})
+	}
+
+	// Buses. Row buses are visited in canonical order; sources on a row
+	// bus are column indices (not permuted), sources on a column bus are
+	// row indices (permuted) with the memory module's index mapping to
+	// itself.
+	busID := func(b *bus.Bus) (uint64, uint64) {
+		for r := 0; r < n; r++ {
+			if s.rows[r] == b {
+				return 0, uint64(perm[r])
+			}
+		}
+		for c := 0; c < n; c++ {
+			if s.cols[c] == b {
+				return 1, uint64(c)
+			}
+		}
+		return 2, 0
+	}
+
+	hashBus := func(b *bus.Bus, permSrc func(int) int) {
+		h.bit(b.Busy())
+		if p := b.Inflight(); p != nil {
+			hashOp(p.(*Op))
+		}
+		type group struct {
+			src int
+			ops []*Op
+		}
+		var groups []group
+		idx := make(map[int]int)
+		b.ForEachQueued(func(src int, pkt bus.Packet) {
+			cs := permSrc(src)
+			gi, ok := idx[cs]
+			if !ok {
+				gi = len(groups)
+				idx[cs] = gi
+				groups = append(groups, group{src: cs})
+			}
+			groups[gi].ops = append(groups[gi].ops, pkt.(*Op))
+		})
+		// Selection sort by canonical source: group counts are tiny.
+		for i := range groups {
+			min := i
+			for j := i + 1; j < len(groups); j++ {
+				if groups[j].src < groups[min].src {
+					min = j
+				}
+			}
+			groups[i], groups[min] = groups[min], groups[i]
+		}
+		for _, g := range groups {
+			h.u64(uint64(int64(g.src)))
+			h.u64(uint64(len(g.ops)))
+			for _, op := range g.ops {
+				hashOp(op)
+			}
+		}
+	}
+
+	identSrc := func(src int) int { return src }
+	for cr := 0; cr < n; cr++ {
+		h.byte(0x05)
+		hashBus(s.rows[inv[cr]], identSrc)
+	}
+	colSrc := func(src int) int {
+		if src < n {
+			return perm[src] // node sources are row indices
+		}
+		return src // the memory module
+	}
+	for c := 0; c < n; c++ {
+		h.byte(0x06)
+		hashBus(s.cols[c], colSrc)
+	}
+
+	// Pending kernel events, as a multiset (absolute times excluded: in
+	// the checker's untimed interpretation only the set of enabled
+	// events matters).
+	var evs []uint64
+	s.k.ForEachPending(func(at sim.Time, tag any) {
+		var eh fnv = fnvOffset
+		switch t := tag.(type) {
+		case EnqueueTag:
+			eh.byte(0x10)
+			eh.u64(uint64(int64(permRow(t.Issuer.Row))))
+			eh.u64(uint64(int64(t.Issuer.Col)))
+			eh.byte(byte(t.Dim))
+			kind, id := busID(t.bus)
+			eh.u64(kind)
+			eh.u64(id)
+			sub := h
+			h = fnvOffset
+			hashOp(t.Op)
+			eh.u64(uint64(h))
+			h = sub
+		case bus.GrantTag:
+			eh.byte(0x11)
+			kind, id := busID(t.B)
+			eh.u64(kind)
+			eh.u64(id)
+		case bus.DeliverTag:
+			eh.byte(0x12)
+			kind, id := busID(t.B)
+			eh.u64(kind)
+			eh.u64(id)
+			sub := h
+			h = fnvOffset
+			hashOp(t.Pkt.(*Op))
+			eh.u64(uint64(h))
+			h = sub
+		default:
+			if extraTag != nil {
+				if fp, ok := extraTag(tag); ok {
+					eh.byte(0x13)
+					eh.u64(fp)
+					break
+				}
+			}
+			eh.byte(0x1f) // opaque: untagged or unrecognized event
+		}
+		evs = append(evs, uint64(eh))
+	})
+	for i := range evs {
+		min := i
+		for j := i + 1; j < len(evs); j++ {
+			if evs[j] < evs[min] {
+				min = j
+			}
+		}
+		evs[i], evs[min] = evs[min], evs[i]
+	}
+	h.byte(0x07)
+	for _, e := range evs {
+		h.u64(e)
+	}
+
+	return uint64(h)
+}

@@ -1,0 +1,85 @@
+package coherence
+
+import (
+	"testing"
+
+	"multicube/internal/cache"
+	"multicube/internal/sim"
+	"multicube/internal/topology"
+)
+
+func fpSystem(t *testing.T) (*sim.Kernel, *System) {
+	t.Helper()
+	k := sim.NewKernel()
+	s := MustNewSystem(k, Config{N: 2, BlockWords: 2})
+	return k, s
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	_, s := fpSystem(t)
+	a := s.Fingerprint(nil, nil)
+	b := s.Fingerprint(nil, nil)
+	if a != b {
+		t.Fatalf("fingerprint not deterministic: %#x vs %#x", a, b)
+	}
+}
+
+func TestFingerprintSeesState(t *testing.T) {
+	k, s := fpSystem(t)
+	base := s.Fingerprint(nil, nil)
+
+	done := false
+	s.Node(topology.Coord{Row: 0, Col: 0}).Write(5, func(Result) { done = true })
+	mid := s.Fingerprint(nil, nil)
+	if mid == base {
+		t.Fatalf("fingerprint unchanged with a transaction in flight")
+	}
+	k.Run()
+	if !done {
+		t.Fatalf("write transaction never completed")
+	}
+	end := s.Fingerprint(nil, nil)
+	if end == base || end == mid {
+		t.Fatalf("fingerprint unchanged after line 5 became modified (base=%#x mid=%#x end=%#x)", base, mid, end)
+	}
+}
+
+// TestFingerprintRowSymmetry builds two machines whose states are row
+// relabelings of each other and checks the relabeling maps one
+// fingerprint to the other.
+func TestFingerprintRowSymmetry(t *testing.T) {
+	build := func(row int) *System {
+		k := sim.NewKernel()
+		s := MustNewSystem(k, Config{N: 2, BlockWords: 2})
+		s.Node(topology.Coord{Row: row, Col: 1}).Write(7, func(Result) {})
+		k.Run()
+		return s
+	}
+	s0 := build(0)
+	s1 := build(1)
+
+	ident := []int{0, 1}
+	swap := []int{1, 0}
+	if got, want := s1.Fingerprint(swap, nil), s0.Fingerprint(ident, nil); got != want {
+		t.Fatalf("swapped fingerprint of row-1 writer = %#x, want row-0 writer identity fingerprint %#x", got, want)
+	}
+	if s0.Fingerprint(ident, nil) == s1.Fingerprint(ident, nil) {
+		t.Fatalf("identity fingerprints of distinct states collide")
+	}
+}
+
+func TestFingerprintDistinguishesCacheState(t *testing.T) {
+	_, s := fpSystem(t)
+	nd := s.Node(topology.Coord{Row: 0, Col: 0})
+	base := s.Fingerprint(nil, nil)
+	nd.Cache().Insert(3, Shared, []uint64{1, 2})
+	withShared := s.Fingerprint(nil, nil)
+	if withShared == base {
+		t.Fatalf("fingerprint blind to cache contents")
+	}
+	e, _ := nd.Cache().Lookup(cache.Line(3))
+	e.State = Modified
+	if s.Fingerprint(nil, nil) == withShared {
+		t.Fatalf("fingerprint blind to line state")
+	}
+}

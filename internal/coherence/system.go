@@ -186,7 +186,35 @@ type System struct {
 	// an original request.
 	SuppressSignal func(n topology.Coord, op *Op) bool
 
+	// DisableStaleReplyPoisoning is a test hook that switches off the
+	// stale in-flight reply defense of DESIGN.md §5.6a: an invalidating
+	// broadcast passing the requester's row no longer poisons its
+	// outstanding READ. The model checker uses it to demonstrate that
+	// exhaustive exploration finds the stale-sharer states the defense
+	// exists to prevent. Never set it outside tests and checker demos.
+	DisableStaleReplyPoisoning bool
+
 	dropped uint64
+}
+
+// EnqueueTag tags a device-latency kernel event whose only effect, when
+// it fires, is to enqueue Op on a bus (plus fault-injection accounting).
+// Model checkers treat these events as commuting with everything except
+// a pending arbitration on the same bus.
+type EnqueueTag struct {
+	// Issuer is the issuing controller, or {Row: -1, Col: c} for the
+	// memory module on column c.
+	Issuer topology.Coord
+	Dim    Dim
+	Op     *Op
+	bus    *bus.Bus
+}
+
+// TargetBus returns the bus the event will enqueue on.
+func (t EnqueueTag) TargetBus() *bus.Bus { return t.bus }
+
+func (t EnqueueTag) String() string {
+	return fmt.Sprintf("enqueue %v %v by %v", t.Dim, t.Op, t.Issuer)
 }
 
 // DroppedOps counts operations discarded by the fault injector.
@@ -254,6 +282,35 @@ func MustNewSystem(k *sim.Kernel, cfg Config) *System {
 
 // Kernel returns the simulation kernel.
 func (s *System) Kernel() *sim.Kernel { return s.k }
+
+// SetChooser routes every scheduling tie-break — kernel event order among
+// equal-time events and bus arbitration among queued requesters — through
+// ch. A DefaultChooser (or nil) reproduces the historical schedules
+// bit-for-bit; the machine stays a timed discrete-event simulation.
+func (s *System) SetChooser(ch sim.Chooser) {
+	s.k.SetChooser(ch, false)
+	for _, b := range s.rows {
+		b.SetChooser(ch, false)
+	}
+	for _, b := range s.cols {
+		b.SetChooser(ch, false)
+	}
+}
+
+// EnableModelChecking puts the machine in exhaustive-exploration mode:
+// every pending kernel event is a dispatch candidate (the untimed
+// interpretation, where any message may take arbitrarily long), and bus
+// grants are deferred so all queued requests reach arbitration. The
+// chooser then decides every ordering. Used by internal/mc.
+func (s *System) EnableModelChecking(ch sim.Chooser) {
+	s.k.SetChooser(ch, true)
+	for _, b := range s.rows {
+		b.SetChooser(ch, true)
+	}
+	for _, b := range s.cols {
+		b.SetChooser(ch, true)
+	}
+}
 
 // Config returns the machine configuration (with defaults filled).
 func (s *System) Config() Config { return s.cfg }

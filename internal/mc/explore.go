@@ -1,0 +1,376 @@
+package mc
+
+import (
+	"fmt"
+
+	"multicube/internal/bus"
+	"multicube/internal/coherence"
+	"multicube/internal/sim"
+)
+
+// Violation is one safety failure, with the choice sequence that
+// reproduces it from the initial state (replay with Replay).
+type Violation struct {
+	// Kind classifies the failure: "invariant", "sc", "deadlock",
+	// "livelock", "stray-reply", "protocol".
+	Kind string
+	Msg  string
+	// Choices is the choice sequence reproducing the violation; all
+	// choices beyond it default to 0.
+	Choices []int
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s violation: %s (choices %v)", v.Kind, v.Msg, v.Choices)
+}
+
+// Options bound an exploration.
+type Options struct {
+	// MaxStates caps the visited-state table (the -budget flag). Zero
+	// means the default of 200000.
+	MaxStates int
+	// MaxDepth caps the choice-sequence length; zero means unlimited
+	// (explore until the bounded programs drain).
+	MaxDepth int
+	// DepthStep enables iterative deepening: exploration restarts with
+	// the depth bound raised by DepthStep until the space is exhausted,
+	// a violation is found, or MaxDepth/MaxStates is hit. Zero disables
+	// deepening (a single full-depth pass). Deepening finds violations
+	// with near-minimal choice sequences.
+	DepthStep int
+	// MaxStepsPerRun guards against runaway executions; zero means the
+	// default of 20000 kernel steps.
+	MaxStepsPerRun int
+	// MaxReissues bounds protocol retransmissions per execution; beyond
+	// it the run is flagged as a possible livelock. Zero means the
+	// default of 128. The protocol legitimately retries lost races, so
+	// the bound is generous rather than tight.
+	MaxReissues int
+	// DisablePOR turns off the ample-set partial-order reduction, for
+	// cross-checking that the reduction hides no violations.
+	DisablePOR bool
+	// NoMinimize skips counterexample shrinking.
+	NoMinimize bool
+}
+
+func (o *Options) fillDefaults() {
+	if o.MaxStates == 0 {
+		o.MaxStates = 200000
+	}
+	if o.MaxStepsPerRun == 0 {
+		o.MaxStepsPerRun = 20000
+	}
+	if o.MaxReissues == 0 {
+		o.MaxReissues = 128
+	}
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	Scenario string
+	// States is the number of distinct canonical states visited (in the
+	// deepest iteration, under iterative deepening).
+	States int
+	// Runs is the number of from-scratch executions (deepest iteration).
+	Runs int
+	// TotalRuns counts executions across all deepening iterations.
+	TotalRuns int
+	// Depth is the choice-depth bound of the final iteration.
+	Depth int
+	// Exhausted reports that every reachable interleaving within the
+	// bounds was covered: no run was cut by the depth bound, the state
+	// budget, or the step guard.
+	Exhausted bool
+	// BudgetHit reports the MaxStates budget stopped exploration.
+	BudgetHit bool
+	Violation *Violation
+}
+
+// take records one resolved choice point.
+type take struct {
+	pick int
+	n    int
+}
+
+// mcChooser scripts an execution: the first len(prefix) choice points
+// follow the prefix, the rest pick the default 0. Ample-set reduction
+// happens here — an eager pick is NOT recorded as a choice point, which
+// is sound because the ample decision is a pure function of the
+// candidate set and therefore replays identically.
+type mcChooser struct {
+	prefix   []int
+	depth    int
+	por      bool
+	taken    []take
+	limitHit bool
+}
+
+func (c *mcChooser) Choose(cp sim.ChoicePoint, cands []sim.Candidate) int {
+	if c.por && cp.Kind == "sched" {
+		if i := ampleIndex(cands); i >= 0 {
+			return i
+		}
+	}
+	if c.depth > 0 && len(c.taken) >= c.depth {
+		c.limitHit = true
+		return 0
+	}
+	pick := 0
+	if len(c.taken) < len(c.prefix) {
+		pick = c.prefix[len(c.taken)]
+		if pick < 0 || pick >= len(cands) {
+			pick = 0
+		}
+	}
+	c.taken = append(c.taken, take{pick: pick, n: len(cands)})
+	return pick
+}
+
+func (c *mcChooser) picks(upto int) []int {
+	out := make([]int, upto)
+	for i := 0; i < upto; i++ {
+		out[i] = c.taken[i].pick
+	}
+	return out
+}
+
+// ampleIndex finds a pending event that commutes with every other
+// enabled event, so firing it first loses no interleavings. The only
+// such events are device-latency enqueues (EnqueueTag): their sole
+// effect is appending an operation to a bus queue. An enqueue stops
+// commuting when the candidate set also contains:
+//
+//   - a grant on the same bus (the enqueue order decides whether the
+//     operation reaches that arbitration),
+//   - another enqueue from the same issuer onto the same bus (per-source
+//     FIFO order is hardware; their relative order is a real choice), or
+//   - any event that can itself enqueue — a delivery (snoop handlers
+//     issue zero-latency responses inline) or a processor step — since
+//     the same-source ordering above could be at stake.
+func ampleIndex(cands []sim.Candidate) int {
+	for i, c := range cands {
+		et, ok := c.Tag.(coherence.EnqueueTag)
+		if !ok {
+			continue
+		}
+		safe := true
+		for j, o := range cands {
+			if j == i {
+				continue
+			}
+			switch t := o.Tag.(type) {
+			case coherence.EnqueueTag:
+				if t.TargetBus() == et.TargetBus() && t.Issuer == et.Issuer {
+					safe = false
+				}
+			case bus.GrantTag:
+				if t.B == et.TargetBus() {
+					safe = false
+				}
+			default:
+				// Deliveries, processor steps, and anything unknown may
+				// enqueue inline.
+				safe = false
+			}
+			if !safe {
+				break
+			}
+		}
+		if safe {
+			return i
+		}
+	}
+	return -1
+}
+
+// explorer holds the cross-run state of one exploration.
+type explorer struct {
+	sc        *Scenario
+	opts      Options
+	visited   map[uint64]struct{}
+	budgetHit bool
+}
+
+type runOut struct {
+	taken     []take
+	violation *Violation
+	truncated bool // stopped at an already-visited state
+	limitHit  bool // the depth bound forced a default choice
+	stepsHit  bool // the per-run step guard fired
+}
+
+// run executes the scenario from scratch under the given choice prefix.
+// When track is set, states beyond the prefix are checked against and
+// added to the visited table (prefix replay must not consult it: those
+// states were recorded by the run that spawned this prefix, and
+// truncating the replay would orphan the branch).
+func (e *explorer) run(prefix []int, depth int, track bool) runOut {
+	in := newInstance(e.sc)
+	ch := &mcChooser{prefix: prefix, depth: depth, por: !e.opts.DisablePOR}
+	in.sys.EnableModelChecking(ch)
+	var out runOut
+	steps := 0
+	for in.k.Pending() > 0 {
+		if steps >= e.opts.MaxStepsPerRun {
+			out.stepsHit = true
+			break
+		}
+		in.k.Step()
+		steps++
+		if v := in.stepCheck(e.opts.MaxReissues); v != nil {
+			out.violation = v
+			break
+		}
+		if track && len(ch.taken) >= len(prefix) {
+			fp := in.canonicalFP()
+			if _, ok := e.visited[fp]; ok {
+				out.truncated = true
+				break
+			}
+			if len(e.visited) >= e.opts.MaxStates {
+				e.budgetHit = true
+				break
+			}
+			e.visited[fp] = struct{}{}
+		}
+	}
+	if out.violation == nil && !out.truncated && !out.stepsHit && !e.budgetHit && in.k.Pending() == 0 {
+		out.violation = in.quiescenceCheck()
+	}
+	out.taken = ch.taken
+	out.limitHit = ch.limitHit
+	if out.violation != nil {
+		out.violation.Choices = ch.picks(len(ch.taken))
+	}
+	return out
+}
+
+type passOut struct {
+	runs      int
+	violation *Violation
+	limitAny  bool
+	stepsAny  bool
+}
+
+// pass runs one depth-bounded DFS over choice sequences.
+func (e *explorer) pass(depth int) passOut {
+	var out passOut
+	stack := [][]int{nil}
+	for len(stack) > 0 && !e.budgetHit {
+		prefix := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		r := e.run(prefix, depth, true)
+		out.runs++
+		out.limitAny = out.limitAny || r.limitHit
+		out.stepsAny = out.stepsAny || r.stepsHit
+		if r.violation != nil {
+			out.violation = r.violation
+			return out
+		}
+		// Spawn the unexplored alternatives of every choice point this
+		// run resolved beyond its prefix. Positions inside the prefix
+		// belong to ancestor runs.
+		for p := len(r.taken) - 1; p >= len(prefix); p-- {
+			if r.taken[p].n < 2 {
+				continue
+			}
+			base := make([]int, p)
+			for i := 0; i < p; i++ {
+				base[i] = r.taken[i].pick
+			}
+			for alt := r.taken[p].n - 1; alt >= 1; alt-- {
+				stack = append(stack, append(append([]int(nil), base...), alt))
+			}
+		}
+	}
+	return out
+}
+
+// Explore model-checks the scenario within the given bounds.
+func Explore(sc Scenario, opts Options) (Result, error) {
+	sc.fillDefaults()
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	opts.fillDefaults()
+	e := &explorer{sc: &sc, opts: opts}
+	res := Result{Scenario: sc.Name}
+
+	depth := opts.MaxDepth // 0 = unlimited: a single full-depth pass
+	if opts.DepthStep > 0 {
+		depth = opts.DepthStep
+	}
+	for {
+		e.visited = make(map[uint64]struct{})
+		e.budgetHit = false
+		p := e.pass(depth)
+		res.TotalRuns += p.runs
+		res.Runs = p.runs
+		res.States = len(e.visited)
+		res.Depth = depth
+		res.BudgetHit = e.budgetHit
+		if p.violation != nil {
+			v := p.violation
+			if !opts.NoMinimize {
+				v = e.minimize(v)
+			}
+			res.Violation = v
+			return res, nil
+		}
+		if e.budgetHit {
+			return res, nil
+		}
+		if !p.limitAny && !p.stepsAny {
+			// No run was cut short: the bounded space is exhausted and
+			// deeper iterations would explore nothing new.
+			res.Exhausted = true
+			return res, nil
+		}
+		atMax := opts.DepthStep == 0 || (opts.MaxDepth > 0 && depth >= opts.MaxDepth)
+		if atMax || !p.limitAny {
+			// Some run was cut by the step guard (or the final depth):
+			// the space was not fully covered, and deepening further
+			// would not change that.
+			return res, nil
+		}
+		depth += opts.DepthStep
+		if opts.MaxDepth > 0 && depth > opts.MaxDepth {
+			depth = opts.MaxDepth
+		}
+	}
+}
+
+// minimize greedily shrinks a counterexample: repeatedly lower the
+// latest non-default choice that still reproduces a violation of the
+// same kind. Each accepted shrink is lexicographically smaller, so the
+// loop terminates; the result is locally minimal (no single choice can
+// be lowered further).
+func (e *explorer) minimize(v *Violation) *Violation {
+	cur := v
+	attempts := 0
+	for improved := true; improved && attempts < 400; {
+		improved = false
+		for i := len(cur.Choices) - 1; i >= 0 && !improved; i-- {
+			if cur.Choices[i] == 0 {
+				continue
+			}
+			for alt := 0; alt < cur.Choices[i] && !improved; alt++ {
+				cand := append([]int(nil), cur.Choices[:i+1]...)
+				cand[i] = alt
+				attempts++
+				r := e.run(cand, 0, false)
+				if r.violation != nil && r.violation.Kind == cur.Kind {
+					cur = r.violation
+					improved = true
+				}
+				if attempts >= 400 {
+					break
+				}
+			}
+		}
+	}
+	for len(cur.Choices) > 0 && cur.Choices[len(cur.Choices)-1] == 0 {
+		cur.Choices = cur.Choices[:len(cur.Choices)-1]
+	}
+	return cur
+}

@@ -1,0 +1,366 @@
+package mc
+
+import (
+	"fmt"
+	"sort"
+
+	"multicube/internal/cache"
+	"multicube/internal/coherence"
+	"multicube/internal/sim"
+	"multicube/internal/topology"
+)
+
+// stepTag tags the kernel event that issues a processor's next program
+// operation, so processor progress competes with protocol events at
+// every choice point and is visible to fingerprints.
+type stepTag struct {
+	proc int
+	step int
+}
+
+func (t stepTag) String() string { return fmt.Sprintf("proc%d step %d", t.proc, t.step) }
+
+// instance is one from-scratch execution of a scenario: a fresh kernel
+// and machine, the per-processor program counters, and the witness.
+type instance struct {
+	sc  *Scenario
+	k   *sim.Kernel
+	sys *coherence.System
+
+	pc        []int // next op index per processor
+	completed int   // ops completed across all processors
+	held      []map[uint64]bool
+	wit       *witness
+	perms     [][]int
+
+	// failure is a driver-level protocol failure (e.g. a write that
+	// completed without the line present), reported as a violation.
+	failure string
+}
+
+func newInstance(sc *Scenario) *instance {
+	sc.fillDefaults()
+	k := sim.NewKernel()
+	sys := coherence.MustNewSystem(k, coherence.Config{
+		N:          sc.N,
+		BlockWords: sc.BlockWords,
+		CacheLines: sc.CacheLines,
+		CacheAssoc: sc.CacheAssoc,
+		MLTEntries: sc.MLTEntries,
+		MLTAssoc:   sc.MLTAssoc,
+		Snarf:      sc.Snarf,
+	})
+	sys.DisableStaleReplyPoisoning = sc.InjectStaleReply
+	in := &instance{
+		sc:    sc,
+		k:     k,
+		sys:   sys,
+		pc:    make([]int, len(sc.Procs)),
+		held:  make([]map[uint64]bool, len(sc.Procs)),
+		wit:   newWitness(sc),
+		perms: rowPermutations(sc.N),
+	}
+	for p := range sc.Procs {
+		in.held[p] = make(map[uint64]bool)
+		p := p
+		k.AtTagged(0, stepTag{proc: p, step: 0}, func() { in.issue(p) })
+	}
+	return in
+}
+
+// writeValue assigns each (processor, step) write a unique nonzero value
+// so the witness can identify which write a read observed.
+func writeValue(proc, step int) uint64 { return uint64(1000 + 100*proc + step) }
+
+func (in *instance) issue(p int) {
+	pr := in.sc.Procs[p]
+	step := in.pc[p]
+	op := pr.Ops[step]
+	nd := in.sys.Node(pr.At)
+	line := cache.Line(op.Line)
+	switch op.Kind {
+	case OpRead:
+		nd.Read(line, func(coherence.Result) {
+			e := nd.CacheEntry(line)
+			if e == nil {
+				in.fail(fmt.Sprintf("proc %v: read of line %d completed with the line absent", pr.At, op.Line))
+				return
+			}
+			in.wit.read(p, op.Line, e.Data[0])
+			in.complete(p)
+		})
+	case OpWrite:
+		val := writeValue(p, step)
+		nd.Write(line, func(coherence.Result) {
+			e := nd.CacheEntry(line)
+			if e == nil {
+				in.fail(fmt.Sprintf("proc %v: write of line %d completed with the line absent", pr.At, op.Line))
+				return
+			}
+			old := e.Data[0]
+			e.Data[0] = val
+			in.wit.write(p, op.Line, old, val)
+			in.complete(p)
+		})
+	case OpAllocate:
+		val := writeValue(p, step)
+		nd.Allocate(line, func(coherence.Result) {
+			e := nd.CacheEntry(line)
+			if e == nil {
+				in.fail(fmt.Sprintf("proc %v: allocate of line %d completed with the line absent", pr.At, op.Line))
+				return
+			}
+			e.Data[0] = val
+			in.complete(p)
+		})
+	case OpWriteBack:
+		nd.WriteBack(line, func(coherence.Result) { in.complete(p) })
+	case OpTAS:
+		nd.TestAndSet(line, func(r coherence.Result) {
+			if r.Acquired {
+				in.held[p][op.Line] = true
+			}
+			in.complete(p)
+		})
+	case OpSync:
+		nd.SyncAcquire(line, func(r coherence.Result) {
+			if r.Acquired {
+				in.held[p][op.Line] = true
+			}
+			in.complete(p)
+		})
+	case OpUnlock:
+		if !in.held[p][op.Line] {
+			in.complete(p)
+			return
+		}
+		delete(in.held[p], op.Line)
+		if nd.SyncRelease(line) {
+			in.complete(p)
+			return
+		}
+		// The line migrated away (the scheme degenerated): release in
+		// software with an ordinary write of the lock word.
+		nd.Write(line, func(coherence.Result) {
+			e := nd.CacheEntry(line)
+			if e == nil {
+				in.fail(fmt.Sprintf("proc %v: unlock write of line %d completed with the line absent", pr.At, op.Line))
+				return
+			}
+			e.Data[coherence.LockWord] = 0
+			in.complete(p)
+		})
+	default:
+		panic(fmt.Sprintf("mc: unknown op kind %v", op.Kind))
+	}
+}
+
+func (in *instance) complete(p int) {
+	in.pc[p]++
+	in.completed++
+	if next := in.pc[p]; next < len(in.sc.Procs[p].Ops) {
+		in.k.AfterTagged(0, stepTag{proc: p, step: next}, func() { in.issue(p) })
+	}
+}
+
+func (in *instance) fail(msg string) {
+	if in.failure == "" {
+		in.failure = msg
+	}
+}
+
+// --- per-step and quiescence oracles ------------------------------------
+
+// stepCheck verifies the invariants that must hold in EVERY state, not
+// just at quiescence: the protocol's transition periods legitimately
+// admit transient MLT duplicates, in-flight purges (a shared copy
+// briefly coexisting with a new modified copy elsewhere), and memory
+// valid bits out of sync with in-flight writebacks — but never two
+// modified copies, and never a reply nobody was waiting for.
+func (in *instance) stepCheck(maxReissues int) *Violation {
+	if in.failure != "" {
+		return &Violation{Kind: "protocol", Msg: in.failure}
+	}
+	if s := in.sys.StrayReplies(); s > 0 {
+		return &Violation{Kind: "stray-reply", Msg: fmt.Sprintf("%d replies arrived with no matching outstanding request", s)}
+	}
+	n := in.sc.N
+	holders := make(map[cache.Line]topology.Coord)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			id := topology.Coord{Row: r, Col: c}
+			var dup *Violation
+			in.sys.Node(id).Cache().ForEach(func(e *cache.Entry) {
+				if e.State != coherence.Modified || dup != nil {
+					return
+				}
+				if first, ok := holders[e.Line]; ok {
+					dup = &Violation{Kind: "invariant",
+						Msg: fmt.Sprintf("line %d modified in two caches at once: %v and %v", e.Line, first, id)}
+					return
+				}
+				holders[e.Line] = id
+			})
+			if dup != nil {
+				return dup
+			}
+		}
+	}
+	reissues := uint64(0)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			reissues += in.sys.Node(topology.Coord{Row: r, Col: c}).Stats().Reissues
+		}
+	}
+	for c := 0; c < n; c++ {
+		reissues += in.sys.MemoryAt(c).Store().Stats().Reissues
+	}
+	if maxReissues > 0 && reissues > uint64(maxReissues) {
+		return &Violation{Kind: "livelock",
+			Msg: fmt.Sprintf("%d retransmissions exceed the bound of %d: possible livelock", reissues, maxReissues)}
+	}
+	return nil
+}
+
+// quiescenceCheck runs when the kernel has no pending events: program
+// completion (a quiescent machine with unfinished programs means a
+// transaction was lost), the full Appendix A global-state oracle, and
+// the sequential-consistency witness.
+func (in *instance) quiescenceCheck() *Violation {
+	if in.completed < in.sc.TotalOps() {
+		var stuck []string
+		for p, pr := range in.sc.Procs {
+			if in.pc[p] < len(pr.Ops) {
+				stuck = append(stuck, fmt.Sprintf("%v at op %d/%d (%v line %d)",
+					pr.At, in.pc[p], len(pr.Ops), pr.Ops[in.pc[p]].Kind, pr.Ops[in.pc[p]].Line))
+			}
+		}
+		return &Violation{Kind: "deadlock",
+			Msg: fmt.Sprintf("machine quiescent with unfinished programs: %v", stuck)}
+	}
+	if errs := coherence.CheckInvariants(in.sys); len(errs) > 0 {
+		msg := errs[0].Error()
+		if len(errs) > 1 {
+			msg = fmt.Sprintf("%s (and %d more)", msg, len(errs)-1)
+		}
+		return &Violation{Kind: "invariant", Msg: msg}
+	}
+	if v := in.wit.check(); v != nil {
+		return v
+	}
+	return nil
+}
+
+// --- canonical fingerprints ----------------------------------------------
+
+// mix is FNV-1a over a word sequence, for combining hash components.
+type mixer uint64
+
+func newMixer() mixer { return 14695981039346656037 }
+
+func (m *mixer) word(v uint64) {
+	for i := 0; i < 8; i++ {
+		*m = (*m ^ mixer(byte(v>>(8*i)))) * 1099511628211
+	}
+}
+
+// canonicalFP fingerprints the machine AND driver state (program
+// counters, lock bookkeeping, remaining programs), minimized over all
+// row relabelings. The sequential-consistency witness history is
+// deliberately excluded: it grows monotonically and is checked along
+// every execution rather than treated as state (write values are unique,
+// so distinct histories almost always differ in machine state anyway).
+func (in *instance) canonicalFP() uint64 {
+	best := ^uint64(0)
+	for _, perm := range in.perms {
+		perm := perm
+		extra := func(tag any) (uint64, bool) {
+			st, ok := tag.(stepTag)
+			if !ok {
+				return 0, false
+			}
+			at := in.sc.Procs[st.proc].At
+			m := newMixer()
+			m.word(uint64(perm[at.Row]))
+			m.word(uint64(at.Col))
+			m.word(uint64(st.step))
+			return uint64(m), true
+		}
+		m := newMixer()
+		m.word(in.sys.Fingerprint(perm, extra))
+		m.word(in.driverFP(perm))
+		if fp := uint64(m); fp < best {
+			best = fp
+		}
+	}
+	return best
+}
+
+func (in *instance) driverFP(perm []int) uint64 {
+	type ent struct {
+		r, c int
+		fp   uint64
+	}
+	ents := make([]ent, 0, len(in.sc.Procs))
+	for p, pr := range in.sc.Procs {
+		m := newMixer()
+		m.word(uint64(in.pc[p]))
+		m.word(uint64(len(pr.Ops)))
+		for _, op := range pr.Ops {
+			m.word(uint64(op.Kind))
+			m.word(op.Line)
+		}
+		lines := make([]uint64, 0, len(in.held[p]))
+		for l := range in.held[p] {
+			lines = append(lines, l)
+		}
+		sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+		for _, l := range lines {
+			m.word(l)
+		}
+		ents = append(ents, ent{r: perm[pr.At.Row], c: pr.At.Col, fp: uint64(m)})
+	}
+	sort.Slice(ents, func(i, j int) bool {
+		if ents[i].r != ents[j].r {
+			return ents[i].r < ents[j].r
+		}
+		return ents[i].c < ents[j].c
+	})
+	m := newMixer()
+	for _, e := range ents {
+		m.word(uint64(e.r))
+		m.word(uint64(e.c))
+		m.word(e.fp)
+	}
+	return uint64(m)
+}
+
+// rowPermutations enumerates all relabelings of n rows. Beyond 4 rows
+// the factorial is not worth it; canonicalization degrades gracefully to
+// the identity (states are still distinguished, just not deduplicated
+// across symmetric placements).
+func rowPermutations(n int) [][]int {
+	ident := make([]int, n)
+	for i := range ident {
+		ident[i] = i
+	}
+	if n > 4 {
+		return [][]int{ident}
+	}
+	var out [][]int
+	var rec func(rest []int, acc []int)
+	rec = func(rest []int, acc []int) {
+		if len(rest) == 0 {
+			out = append(out, append([]int(nil), acc...))
+			return
+		}
+		for i := range rest {
+			next := make([]int, 0, len(rest)-1)
+			next = append(next, rest[:i]...)
+			next = append(next, rest[i+1:]...)
+			rec(next, append(acc, rest[i]))
+		}
+	}
+	rec(ident, nil)
+	return out
+}

@@ -1,0 +1,204 @@
+// Package mc is an exhaustive interleaving model checker for the
+// Appendix A coherence protocol. It drives the real protocol engine —
+// the same internal/coherence code the timed simulator runs — through
+// every reachable interleaving of a small bounded scenario, checking
+// safety invariants after every kernel step and the full quiescent-state
+// oracle, a per-address sequential-consistency witness, and program
+// completion at the end of every execution.
+//
+// The checker is stateless in the Stateless Model Checking sense: the
+// protocol engine's state lives in closures and cannot be snapshotted,
+// so each execution replays a choice-sequence prefix from the initial
+// state and continues with default choices. Exploration is an
+// iterative-deepening DFS over choice sequences with a visited-state
+// table keyed by canonical fingerprints (internal/coherence's
+// Fingerprint, minimized over row relabelings), and an optional
+// ample-set partial-order reduction that eager-fires device-latency
+// enqueue events that provably commute with every other enabled event.
+//
+// Nondeterminism model: the machine is explored under the untimed
+// interpretation — any pending event (a bus grant, a delivery, a
+// controller's latency expiry, a processor's next reference) may fire
+// next, regardless of its nominal timestamp. This makes every protocol
+// race window reachable no matter what the latency constants are; the
+// paper's protocol must be correct for arbitrary message timing.
+package mc
+
+import (
+	"fmt"
+
+	"multicube/internal/topology"
+)
+
+// OpKind is one processor operation in a scenario program.
+type OpKind uint8
+
+const (
+	// OpRead is a processor read of the line's first word.
+	OpRead OpKind = iota
+	// OpWrite obtains the line modified and writes a unique value to its
+	// first word (the sequential-consistency witness tracks these).
+	OpWrite
+	// OpAllocate is the ALLOCATE hint: obtain the line modified,
+	// zero-filled, without reading its prior contents.
+	OpAllocate
+	// OpWriteBack explicitly writes a modified line back to memory.
+	OpWriteBack
+	// OpTAS is a single try of the remote test-and-set on the line's
+	// lock word; the program proceeds whether or not it acquired.
+	OpTAS
+	// OpSync is a single SYNC queue-join attempt; the program proceeds
+	// once the lock arrives, or immediately on the degenerate MustSpin
+	// outcome.
+	OpSync
+	// OpUnlock releases a lock this processor acquired with OpTAS or
+	// OpSync (a no-op if it never acquired it).
+	OpUnlock
+)
+
+var opKindNames = [...]string{"R", "W", "ALLOC", "WB", "TAS", "SYNC", "UNLOCK"}
+
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// ProcOp is one step of a processor's program.
+type ProcOp struct {
+	Kind OpKind
+	Line uint64
+}
+
+// Proc is one processor's bounded program.
+type Proc struct {
+	At  topology.Coord
+	Ops []ProcOp
+}
+
+// Scenario is one bounded model-checking problem: a machine
+// configuration and a program per participating processor.
+type Scenario struct {
+	Name string
+	// N is processors per bus (the machine is N×N).
+	N int
+	// BlockWords defaults to 2 (the minimum: lock and link words).
+	BlockWords int
+	// CacheLines/CacheAssoc and MLTEntries/MLTAssoc bound the cache and
+	// modified line table; zero means unbounded.
+	CacheLines, CacheAssoc int
+	MLTEntries, MLTAssoc   int
+	// Snarf enables the Section 3 snarf optimization.
+	Snarf bool
+	// InjectStaleReply disables the stale in-flight reply defense
+	// (DESIGN.md §5.6a) to demonstrate the checker catching the
+	// resulting stale-sharer states.
+	InjectStaleReply bool
+	Procs            []Proc
+}
+
+func (s *Scenario) fillDefaults() {
+	if s.N == 0 {
+		s.N = 2
+	}
+	if s.BlockWords == 0 {
+		s.BlockWords = 2
+	}
+}
+
+// TotalOps returns the summed program length.
+func (s *Scenario) TotalOps() int {
+	n := 0
+	for _, p := range s.Procs {
+		n += len(p.Ops)
+	}
+	return n
+}
+
+// Validate reports scenario construction errors.
+func (s *Scenario) Validate() error {
+	if len(s.Procs) == 0 {
+		return fmt.Errorf("mc: scenario %q has no processors", s.Name)
+	}
+	seen := make(map[topology.Coord]bool)
+	for _, p := range s.Procs {
+		if p.At.Row < 0 || p.At.Row >= s.N || p.At.Col < 0 || p.At.Col >= s.N {
+			return fmt.Errorf("mc: scenario %q: processor %v outside the %dx%d grid", s.Name, p.At, s.N, s.N)
+		}
+		if seen[p.At] {
+			return fmt.Errorf("mc: scenario %q: two programs on processor %v", s.Name, p.At)
+		}
+		seen[p.At] = true
+		if len(p.Ops) == 0 {
+			return fmt.Errorf("mc: scenario %q: processor %v has an empty program", s.Name, p.At)
+		}
+	}
+	return nil
+}
+
+// Presets returns the built-in scenario names.
+func Presets() []string {
+	return []string{"readmod-race", "read-race", "sync-race", "mlt-overflow-lock"}
+}
+
+// Preset returns a built-in bounded scenario by name.
+//
+// Lines are chosen so their home columns exercise both local and remote
+// paths on a 2×2 grid: even lines are homed on column 0, odd lines on
+// column 1.
+func Preset(name string) (Scenario, error) {
+	c := func(r, col int) topology.Coord { return topology.Coord{Row: r, Col: col} }
+	switch name {
+	case "readmod-race":
+		// Two writers race READMOD transactions for the same line from
+		// different rows and columns, then read it back; a second line
+		// on the same home column keeps the column bus contended.
+		return Scenario{
+			Name: name, N: 2,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpWrite, 0}, {OpRead, 0}, {OpWrite, 2}, {OpRead, 0}}},
+				{At: c(1, 1), Ops: []ProcOp{{OpWrite, 0}, {OpRead, 2}, {OpRead, 0}}},
+			},
+		}, nil
+	case "read-race":
+		// A reader's READ is in flight while a writer's READMOD purge
+		// crosses it: the stale in-flight reply window of DESIGN.md
+		// §5.6a. With InjectStaleReply the defense is off and the
+		// checker finds the stale sharer.
+		return Scenario{
+			Name: name, N: 2,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpRead, 1}, {OpRead, 1}}},
+				{At: c(1, 1), Ops: []ProcOp{{OpWrite, 1}, {OpWrite, 1}}},
+			},
+		}, nil
+	case "sync-race":
+		// Three processors race SYNC queue joins and handoffs on one
+		// lock line: the join-admission and XFER-overtakes-QUEUED races
+		// of Section 4.
+		return Scenario{
+			Name: name, N: 2,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpSync, 0}, {OpUnlock, 0}}},
+				{At: c(1, 1), Ops: []ProcOp{{OpSync, 0}, {OpUnlock, 0}}},
+				{At: c(1, 0), Ops: []ProcOp{{OpSync, 0}, {OpUnlock, 0}}},
+			},
+		}, nil
+	case "mlt-overflow-lock":
+		// A single-entry modified line table forces an overflow while a
+		// lock line is sync-active and pinned: the overflow must
+		// re-insert the pinned entry (footnote 7) rather than strand
+		// the queue, while a second node keeps the column's tables busy.
+		return Scenario{
+			Name: name, N: 2,
+			MLTEntries: 1, MLTAssoc: 1,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpTAS, 0}, {OpWrite, 2}, {OpUnlock, 0}}},
+				{At: c(1, 0), Ops: []ProcOp{{OpWrite, 4}, {OpRead, 2}}},
+			},
+		}, nil
+	default:
+		return Scenario{}, fmt.Errorf("mc: unknown preset %q (have %v)", name, Presets())
+	}
+}

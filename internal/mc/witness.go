@@ -1,0 +1,145 @@
+package mc
+
+import "fmt"
+
+// The sequential-consistency witness checks per-address coherence (the
+// property every cache-coherence protocol must provide): for each line,
+// all writes form a single total order, and each processor's reads and
+// writes of that line observe non-decreasing positions in it.
+//
+// Every OpWrite stores a unique value and records the value it
+// overwrote, so the write order is recovered as a chain rooted at the
+// initial value 0: each write's predecessor is the value it observed.
+// Two writes observing the same predecessor is a lost update; a read
+// observing a value no write produced is data corruption; a processor
+// observing positions out of order saw the line travel back in time.
+//
+// Lines touched by lock operations (OpTAS, OpSync, OpUnlock) or by
+// OpAllocate (a blind write that observes no predecessor) are excluded.
+
+type witEvent struct {
+	proc int
+	line uint64
+	// write is true for a write of val overwriting old; false for a
+	// read observing val.
+	write bool
+	val   uint64
+	old   uint64
+}
+
+type witness struct {
+	tracked map[uint64]bool
+	events  []witEvent
+}
+
+func newWitness(sc *Scenario) *witness {
+	tracked := make(map[uint64]bool)
+	for _, p := range sc.Procs {
+		for _, op := range p.Ops {
+			switch op.Kind {
+			case OpRead, OpWrite, OpWriteBack:
+				if _, ok := tracked[op.Line]; !ok {
+					tracked[op.Line] = true
+				}
+			case OpTAS, OpSync, OpUnlock, OpAllocate:
+				tracked[op.Line] = false
+			}
+		}
+	}
+	return &witness{tracked: tracked}
+}
+
+func (w *witness) write(proc int, line, old, val uint64) {
+	if w.tracked[line] {
+		w.events = append(w.events, witEvent{proc: proc, line: line, write: true, val: val, old: old})
+	}
+}
+
+func (w *witness) read(proc int, line, val uint64) {
+	if w.tracked[line] {
+		w.events = append(w.events, witEvent{proc: proc, line: line, val: val})
+	}
+}
+
+// check validates the recorded history; it returns nil when the history
+// is per-address sequentially consistent.
+func (w *witness) check() *Violation {
+	viol := func(format string, args ...any) *Violation {
+		return &Violation{Kind: "sc", Msg: fmt.Sprintf(format, args...)}
+	}
+	// Chain the writes per line: successor[old value] = new value.
+	type link struct {
+		val  uint64
+		proc int
+	}
+	succ := make(map[uint64]map[uint64]link) // line -> old -> next
+	for _, e := range w.events {
+		if !e.write {
+			continue
+		}
+		m := succ[e.line]
+		if m == nil {
+			m = make(map[uint64]link)
+			succ[e.line] = m
+		}
+		if prev, ok := m[e.old]; ok {
+			return viol("line %d: lost update — writes %d (proc %d) and %d (proc %d) both overwrote value %d",
+				e.line, prev.val, prev.proc, e.val, e.proc, e.old)
+		}
+		m[e.old] = link{val: e.val, proc: e.proc}
+	}
+	// Walk each chain from the initial value 0 to assign positions.
+	pos := make(map[uint64]map[uint64]int) // line -> value -> position
+	for line, m := range succ {
+		p := map[uint64]int{0: 0}
+		v, i := uint64(0), 0
+		for {
+			nxt, ok := m[v]
+			if !ok {
+				break
+			}
+			i++
+			p[nxt.val] = i
+			v = nxt.val
+		}
+		if len(p) != len(m)+1 {
+			// Some write's predecessor is neither 0 nor another write:
+			// it observed a value that never existed.
+			for old, nxt := range m {
+				if _, ok := p[old]; !ok {
+					return viol("line %d: write %d (proc %d) overwrote value %d, which no write produced",
+						line, nxt.val, nxt.proc, old)
+				}
+			}
+		}
+		pos[line] = p
+	}
+	// Per-processor monotonicity over each line's chain.
+	type key struct {
+		proc int
+		line uint64
+	}
+	last := make(map[key]int)
+	for _, e := range w.events {
+		p := pos[e.line]
+		if p == nil {
+			p = map[uint64]int{0: 0}
+		}
+		i, ok := p[e.val]
+		if !ok {
+			return viol("line %d: proc %d read value %d, which no write produced", e.line, e.proc, e.val)
+		}
+		k := key{proc: e.proc, line: e.line}
+		if prev, seen := last[k]; seen {
+			if e.write && i <= prev {
+				return viol("line %d: proc %d wrote position %d after observing position %d", e.line, e.proc, i, prev)
+			}
+			if !e.write && i < prev {
+				return viol("line %d: proc %d read position %d (value %d) after observing position %d — the line traveled back in time",
+					e.line, e.proc, i, e.val, prev)
+			}
+		}
+		last[k] = i
+	}
+	return nil
+}

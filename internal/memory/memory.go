@@ -12,7 +12,10 @@
 // modeled by the coherence package's memory agent.
 package memory
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Line addresses a coherency block.
 type Line uint64
@@ -118,3 +121,45 @@ func (s *Store) Stats() Stats {
 
 // InvalidLines returns the number of lines currently marked invalid.
 func (s *Store) InvalidLines() int { return len(s.invalid) }
+
+// ForEach visits, in ascending line order, every line whose state differs
+// from the boot state (all-zero contents, valid). State fingerprints in
+// the model checker are built from this, so a line written back to zero
+// is indistinguishable from one never written — exactly the semantics of
+// the zero-filled store.
+func (s *Store) ForEach(fn func(line Line, valid bool, data []uint64)) {
+	lines := make([]Line, 0, len(s.data)+len(s.invalid))
+	seen := make(map[Line]bool, len(s.data)+len(s.invalid))
+	add := func(l Line) {
+		if !seen[l] {
+			seen[l] = true
+			lines = append(lines, l)
+		}
+	}
+	for l := range s.data {
+		add(l)
+	}
+	for l := range s.invalid {
+		add(l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, l := range lines {
+		valid := !s.invalid[l]
+		data := s.data[l]
+		if valid {
+			zero := true
+			for _, w := range data {
+				if w != 0 {
+					zero = false
+					break
+				}
+			}
+			if zero {
+				continue
+			}
+		}
+		buf := make([]uint64, s.blockWords)
+		copy(buf, data)
+		fn(l, valid, buf)
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+// This file is the choice-point seam of the model checker (internal/mc).
+//
+// The kernel and the buses resolve scheduling ties deterministically: the
+// kernel dispatches equal-time events in scheduling order, and a bus
+// grants queued requests in arbitration-policy order. Both are arbitrary
+// tie-breaks of the hardware's nondeterminism — two requesters raising
+// their bus-request lines in the same cycle could be granted in either
+// order. A Chooser makes that tie-break explicit: every place the
+// simulator picks "the first" among several equally-legal alternatives
+// asks the Chooser instead, so a model checker can enumerate every
+// resolution while the default resolution stays byte-identical to the
+// pre-seam behavior.
+
+// ChoicePoint identifies one nondeterministic decision offered to a
+// Chooser.
+type ChoicePoint struct {
+	// Kind is the decision class: "sched" for kernel event dispatch
+	// order, "grant" for bus arbitration among queued requesters.
+	Kind string
+	// Name localizes the decision (a bus name; empty for the kernel).
+	Name string
+}
+
+// Candidate is one alternative at a choice point.
+type Candidate struct {
+	// Label is a human-readable description, used in counterexamples.
+	Label string
+	// Tag is the scheduling tag of the underlying event or the queued
+	// bus packet; model checkers use it to classify and fingerprint the
+	// alternative.
+	Tag any
+}
+
+// Chooser resolves nondeterministic ties. Choose must return an index in
+// [0, len(cands)); returning 0 everywhere reproduces the default
+// deterministic behavior. Choose is called only when len(cands) > 0; the
+// candidate order is deterministic (scheduling order for "sched",
+// arbitration-policy order for "grant"), so index 0 is always the choice
+// the unseamed simulator would have made.
+type Chooser interface {
+	Choose(cp ChoicePoint, cands []Candidate) int
+}
+
+// DefaultChooser picks candidate 0 at every choice point, reproducing the
+// seeded FIFO schedules exactly.
+type DefaultChooser struct{}
+
+// Choose implements Chooser.
+func (DefaultChooser) Choose(ChoicePoint, []Candidate) int { return 0 }
+
+// labelFor renders a candidate tag for diagnostics.
+func labelFor(tag any) string {
+	switch v := tag.(type) {
+	case nil:
+		return "?"
+	case string:
+		return v
+	case interface{ String() string }:
+		return v.String()
+	default:
+		return "?"
+	}
+}

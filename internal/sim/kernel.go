@@ -17,6 +17,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 )
 
 // Time is simulated time in nanoseconds since the start of the run.
@@ -47,6 +48,9 @@ type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	// tag optionally identifies the event for model checking: choice
+	// enumeration, state fingerprinting and counterexample rendering.
+	tag any
 }
 
 type eventHeap []event
@@ -76,6 +80,15 @@ type Kernel struct {
 	events eventHeap
 	procs  []*Proc
 
+	// chooser, when set, resolves dispatch order among candidate events;
+	// nil keeps the historical (time, sequence) order with zero overhead.
+	chooser Chooser
+	// allEvents widens the candidate set from "events sharing the
+	// earliest timestamp" to every pending event — the untimed
+	// interpretation a protocol model checker wants, where a message may
+	// take arbitrarily long and any pending action can happen next.
+	allEvents bool
+
 	// executed counts events dispatched, for diagnostics and tests.
 	executed uint64
 }
@@ -98,25 +111,97 @@ func (k *Kernel) Executed() uint64 { return k.executed }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // (t < Now) panics: it always indicates a modeling bug.
-func (k *Kernel) At(t Time, fn func()) {
+func (k *Kernel) At(t Time, fn func()) { k.AtTagged(t, nil, fn) }
+
+// AtTagged is At with a scheduling tag attached to the event, identifying
+// it to a Chooser and to state-fingerprinting code.
+func (k *Kernel) AtTagged(t Time, tag any, fn func()) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
 	k.seq++
-	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn, tag: tag})
 }
 
 // After schedules fn to run d nanoseconds from now.
 func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
 
-// Step dispatches the single earliest event. It reports false when no
-// events remain.
+// AfterTagged is After with a scheduling tag.
+func (k *Kernel) AfterTagged(d Time, tag any, fn func()) { k.AtTagged(k.now+d, tag, fn) }
+
+// SetChooser routes event dispatch order through ch (nil restores the
+// default order). With allEvents false, only events sharing the earliest
+// timestamp are offered — a tie-break refinement that preserves the
+// timing model. With allEvents true, every pending event is a candidate:
+// the untimed interpretation under which a model checker explores all
+// message orderings regardless of latency constants; dispatching a later
+// event advances the clock past it, so time stays monotonic.
+func (k *Kernel) SetChooser(ch Chooser, allEvents bool) {
+	k.chooser = ch
+	k.allEvents = allEvents
+}
+
+// ForEachPending visits every pending event's (time, tag) in scheduling
+// order. Model checkers include the pending set in state fingerprints.
+func (k *Kernel) ForEachPending(fn func(at Time, tag any)) {
+	ordered := append(eventHeap(nil), k.events...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered.Less(i, j) })
+	for _, e := range ordered {
+		fn(e.at, e.tag)
+	}
+}
+
+// Step dispatches one event — the single earliest, or the chooser's pick
+// among the candidate set when a Chooser is installed. It reports false
+// when no events remain.
 func (k *Kernel) Step() bool {
 	if len(k.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.events).(event)
-	k.now = e.at
+	if k.chooser == nil {
+		e := heap.Pop(&k.events).(event)
+		k.now = e.at
+		k.executed++
+		e.fn()
+		return true
+	}
+	return k.stepChosen()
+}
+
+// stepChosen dispatches via the chooser. Candidates are presented in
+// (time, sequence) order, so choice 0 is exactly the event the default
+// path would dispatch.
+func (k *Kernel) stepChosen() bool {
+	ordered := append(eventHeap(nil), k.events...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered.Less(i, j) })
+	n := len(ordered)
+	if !k.allEvents {
+		n = 1
+		for n < len(ordered) && ordered[n].at == ordered[0].at {
+			n++
+		}
+	}
+	idx := 0
+	if n > 1 {
+		cands := make([]Candidate, n)
+		for i, e := range ordered[:n] {
+			cands[i] = Candidate{Label: labelFor(e.tag), Tag: e.tag}
+		}
+		idx = k.chooser.Choose(ChoicePoint{Kind: "sched"}, cands)
+		if idx < 0 || idx >= n {
+			panic(fmt.Sprintf("sim: chooser picked %d of %d candidates", idx, n))
+		}
+	}
+	e := ordered[idx]
+	for i := range k.events {
+		if k.events[i].seq == e.seq {
+			heap.Remove(&k.events, i)
+			break
+		}
+	}
+	if e.at > k.now {
+		k.now = e.at
+	}
 	k.executed++
 	e.fn()
 	return true

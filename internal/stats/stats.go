@@ -5,9 +5,11 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -76,6 +78,47 @@ func (t *Table) Render() string {
 		writeRow(row)
 	}
 	return b.String()
+}
+
+// JSONRows returns the table as JSON Lines: one object per data row,
+// keyed by column header, with the experiment and table title attached
+// so streams from several tables stay self-describing. Cells that parse
+// as numbers are emitted as JSON numbers, empty cells as null, and
+// everything else as strings (the schema multicube-bench -json
+// documents in the README).
+func (t *Table) JSONRows(experiment string) (string, error) {
+	var b strings.Builder
+	for _, row := range t.rows {
+		cells := make(map[string]interface{}, len(row))
+		for i, c := range row {
+			if i >= len(t.Headers) {
+				break
+			}
+			switch {
+			case c == "":
+				cells[t.Headers[i]] = nil
+			default:
+				if f, err := strconv.ParseFloat(c, 64); err == nil {
+					cells[t.Headers[i]] = f
+				} else {
+					cells[t.Headers[i]] = c
+				}
+			}
+		}
+		obj := map[string]interface{}{
+			"experiment": experiment,
+			"table":      t.Title,
+			"columns":    t.Headers,
+			"row":        cells,
+		}
+		enc, err := json.Marshal(obj)
+		if err != nil {
+			return "", err
+		}
+		b.Write(enc)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
 }
 
 // CSV returns the table as comma-separated values.

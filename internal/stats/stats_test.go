@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -45,6 +46,41 @@ func TestCSV(t *testing.T) {
 	want := "a,b\n1,two\n"
 	if got != want {
 		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestJSONRows(t *testing.T) {
+	tb := NewTable("demo", "name", "value", "note")
+	tb.AddRow("alpha", 1.5, "")
+	tb.AddRow("beta", 2, "x")
+	got, err := tb.JSONRows("exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), got)
+	}
+	var obj struct {
+		Experiment string                 `json:"experiment"`
+		Table      string                 `json:"table"`
+		Columns    []string               `json:"columns"`
+		Row        map[string]interface{} `json:"row"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &obj); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if obj.Experiment != "exp" || obj.Table != "demo" || len(obj.Columns) != 3 {
+		t.Fatalf("metadata wrong: %+v", obj)
+	}
+	if v, ok := obj.Row["value"].(float64); !ok || v != 1.5 {
+		t.Fatalf("numeric cell not a JSON number: %#v", obj.Row["value"])
+	}
+	if obj.Row["name"] != "alpha" {
+		t.Fatalf("string cell = %#v, want alpha", obj.Row["name"])
+	}
+	if obj.Row["note"] != nil {
+		t.Fatalf("empty cell = %#v, want null", obj.Row["note"])
 	}
 }
 

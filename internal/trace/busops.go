@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// BusOp is one annotated bus operation, as issued onto a row or column
+// bus. The model checker renders counterexamples with these; the fields
+// are plain strings so the log is independent of the protocol packages.
+type BusOp struct {
+	// Step is the kernel step count when the operation was issued.
+	Step int
+	// Bus names the bus the operation was placed on ("row0", "col1").
+	Bus string
+	// Issuer names the issuing agent ("(0,1)" for a node, "mem0" for a
+	// memory module).
+	Issuer string
+	// Op is the operation's rendered form.
+	Op string
+}
+
+// BusOpLog collects bus operations in issue order.
+type BusOpLog struct {
+	Ops []BusOp
+}
+
+// Append adds one operation.
+func (l *BusOpLog) Append(step int, bus, issuer, op string) {
+	l.Ops = append(l.Ops, BusOp{Step: step, Bus: bus, Issuer: issuer, Op: op})
+}
+
+// Len returns the operation count.
+func (l *BusOpLog) Len() int { return len(l.Ops) }
+
+// WriteText renders the log as aligned columns, one operation per line.
+func (l *BusOpLog) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, o := range l.Ops {
+		if _, err := fmt.Fprintf(bw, "%5d  %-6s %-8s %s\n", o.Step, o.Bus, o.Issuer, o.Op); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceRoundTrip exercises both codecs: arbitrary record streams
+// must survive a binary encode/decode round trip bit-exactly, and
+// arbitrary (mostly malformed) input bytes must never panic either
+// decoder.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{'M', 'C', 'T', '1', 0}, uint8(1))
+	f.Add([]byte("0 R 16\n1 W 4096\n"), uint8(2))
+	f.Add([]byte{'M', 'C', 'T', '1', 255, 255, 255, 255, 255, 255, 255, 255, 255, 1}, uint8(3))
+	f.Add([]byte("9999999999999999999999 R 1\n"), uint8(4))
+
+	f.Fuzz(func(t *testing.T, data []byte, salt uint8) {
+		// 1. Malformed input must error or succeed, never panic.
+		if tr, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			// Whatever decoded must re-encode and decode to itself.
+			var buf bytes.Buffer
+			if err := tr.WriteBinary(&buf); err != nil {
+				t.Fatalf("re-encode of decoded trace failed: %v", err)
+			}
+			back, err := ReadBinary(&buf)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if len(back.Records) != len(tr.Records) {
+				t.Fatalf("round trip changed record count: %d vs %d", len(tr.Records), len(back.Records))
+			}
+		}
+		if tr, err := ReadText(bytes.NewReader(data)); err == nil {
+			var buf bytes.Buffer
+			if err := tr.WriteText(&buf); err != nil {
+				t.Fatalf("text re-encode failed: %v", err)
+			}
+			back, err := ReadText(&buf)
+			if err != nil {
+				t.Fatalf("text re-decode failed: %v", err)
+			}
+			if len(back.Records) != len(tr.Records) {
+				t.Fatalf("text round trip changed record count: %d vs %d", len(tr.Records), len(back.Records))
+			}
+		}
+
+		// 2. A synthetic trace derived from the fuzz input must round-trip
+		// bit-exactly through the binary codec.
+		syn := &Trace{}
+		for i, b := range data {
+			if i >= 64 {
+				break
+			}
+			kind := Read
+			if b&1 == 1 {
+				kind = Write
+			}
+			syn.Append(int(b>>4), kind, uint64(b)*uint64(salt+1)<<(uint(i)%32))
+		}
+		var buf bytes.Buffer
+		if err := syn.WriteBinary(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("decode of just-encoded trace: %v", err)
+		}
+		if len(got.Records) != len(syn.Records) {
+			t.Fatalf("record count: got %d want %d", len(got.Records), len(syn.Records))
+		}
+		for i := range syn.Records {
+			if got.Records[i] != syn.Records[i] {
+				t.Fatalf("record %d: got %+v want %+v", i, got.Records[i], syn.Records[i])
+			}
+		}
+	})
+}

@@ -166,7 +166,14 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading count: %w", err)
 	}
-	t := &Trace{Records: make([]Record, 0, count)}
+	// Cap the preallocation: count is untrusted input, and a malformed
+	// header must not drive a giant allocation. Real records still
+	// accumulate past the cap by appending.
+	prealloc := count
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	t := &Trace{Records: make([]Record, 0, prealloc)}
 	last := make(map[int]uint64)
 	for i := uint64(0); i < count; i++ {
 		proc, err := binary.ReadUvarint(br)
