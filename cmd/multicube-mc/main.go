@@ -7,7 +7,8 @@
 // Usage:
 //
 //	multicube-mc -preset readmod-race [-budget 200000] [-depth-step 0]
-//	             [-inject] [-no-por] [-no-minimize] [-quiet]
+//	             [-workers 1] [-inject] [-no-por] [-no-sleep]
+//	             [-no-minimize] [-quiet]
 //	multicube-mc -list
 //
 // On a violation the exit status is 1 and the minimized counterexample
@@ -32,8 +33,10 @@ func main() {
 	budget := flag.Int("budget", 0, "visited-state budget (default 200000)")
 	depth := flag.Int("depth", 0, "choice-depth bound (0 = unlimited)")
 	depthStep := flag.Int("depth-step", 0, "iterative-deepening step (0 = single full-depth pass)")
+	workers := flag.Int("workers", 1, "parallel exploration workers (verdict is worker-count independent)")
 	inject := flag.Bool("inject", false, "disable the stale-reply defense of DESIGN.md §5.6a")
-	noPOR := flag.Bool("no-por", false, "disable the ample-set partial-order reduction")
+	noPOR := flag.Bool("no-por", false, "disable the partial-order reduction entirely")
+	noSleep := flag.Bool("no-sleep", false, "keep eager-firing but disable the sleep sets")
 	noMin := flag.Bool("no-minimize", false, "skip counterexample shrinking")
 	quiet := flag.Bool("quiet", false, "suppress the bus trace on violations")
 	flag.Parse()
@@ -41,8 +44,15 @@ func main() {
 	if *list {
 		for _, name := range mc.Presets() {
 			sc, _ := mc.Preset(name)
-			fmt.Printf("%-18s %d procs, %d ops on a %dx%d grid\n",
-				name, len(sc.Procs), sc.TotalOps(), sc.N, sc.N)
+			where := "a single bus"
+			if !sc.SingleBus {
+				if sc.N == 0 {
+					sc.N = 2
+				}
+				where = fmt.Sprintf("a %dx%d grid", sc.N, sc.N)
+			}
+			fmt.Printf("%-18s %d procs, %d ops on %s\n",
+				name, len(sc.Procs), sc.TotalOps(), where)
 		}
 		return
 	}
@@ -57,11 +67,13 @@ func main() {
 	}
 	sc.InjectStaleReply = *inject
 	opts := mc.Options{
-		MaxStates:  *budget,
-		MaxDepth:   *depth,
-		DepthStep:  *depthStep,
-		DisablePOR: *noPOR,
-		NoMinimize: *noMin,
+		MaxStates:    *budget,
+		MaxDepth:     *depth,
+		DepthStep:    *depthStep,
+		Workers:      *workers,
+		DisablePOR:   *noPOR,
+		DisableSleep: *noSleep,
+		NoMinimize:   *noMin,
 	}
 
 	start := time.Now()

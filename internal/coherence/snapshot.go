@@ -100,7 +100,13 @@ func (s *System) Fingerprint(perm []int, extraTag func(tag any) (uint64, bool)) 
 		h.u64(uint64(op.Flags))
 		h.u64(uint64(op.Line))
 		hashCoord(op.Origin)
-		hashCoord(op.Target)
+		if op.Flags&XFER != 0 {
+			// Target is meaningful only for SYNC handoffs; on every
+			// other op it is the zero coordinate, and permuting that
+			// zero would break row-relabeling invariance of in-flight
+			// states. XFER ops are already segregated by Flags above.
+			hashCoord(op.Target)
+		}
 		h.bit(op.Data != nil)
 		for _, w := range op.Data {
 			h.u64(w)
@@ -294,4 +300,134 @@ func (s *System) Fingerprint(perm []int, extraTag func(tag any) (uint64, bool)) 
 	}
 
 	return uint64(h)
+}
+
+// --- event-tag classification for partial-order reduction ----------------
+
+// TagKind classifies a kernel event tag for the model checker's
+// independence reasoning (internal/mc's persistent/sleep-set reduction).
+type TagKind uint8
+
+const (
+	// TagOther is any tag the coherence layer does not recognize; the
+	// checker must treat it as dependent with everything.
+	TagOther TagKind = iota
+	// TagEnqueue is a device-latency enqueue (EnqueueTag).
+	TagEnqueue
+	// TagGrant is a deferred bus arbitration (bus.GrantTag).
+	TagGrant
+	// TagDeliver is a bus delivery (bus.DeliverTag).
+	TagDeliver
+)
+
+// TagInfo describes one kernel event tag to the model checker: its
+// class, the identity of the bus it acts on, the issuing agent (enqueues
+// only), and a content fingerprint stable across replays of the same
+// state, usable as the transition's identity in sleep sets.
+type TagInfo struct {
+	Kind TagKind
+	// Bus identifies the bus machine-stably: row r is r, column c is
+	// N+c; -1 when the tag names no bus this system owns.
+	Bus int
+	// Issuer is the enqueueing agent (Row -1 for a memory module);
+	// meaningful only for TagEnqueue.
+	Issuer topology.Coord
+	// FP is a content hash of the transition (class, bus, payload).
+	FP uint64
+}
+
+// busIndex returns the machine-stable bus identity, or -1.
+func (s *System) busIndex(b *bus.Bus) int {
+	for r := 0; r < s.cfg.N; r++ {
+		if s.rows[r] == b {
+			return r
+		}
+	}
+	for c := 0; c < s.cfg.N; c++ {
+		if s.cols[c] == b {
+			return s.cfg.N + c
+		}
+	}
+	return -1
+}
+
+// opIdentFP hashes an operation's protocol-visible payload under the
+// identity row labeling, for transition identity (not state
+// canonicalization — sleep sets compare transitions along one replayed
+// path, where physical coordinates are stable).
+func opIdentFP(op *Op) uint64 {
+	h := fnvOffset
+	h.byte(byte(op.Txn))
+	h.u64(uint64(op.Flags))
+	h.u64(uint64(op.Line))
+	h.u64(uint64(int64(op.Origin.Row)))
+	h.u64(uint64(int64(op.Origin.Col)))
+	h.u64(uint64(int64(op.Target.Row)))
+	h.u64(uint64(int64(op.Target.Col)))
+	h.bit(op.Data != nil)
+	for _, w := range op.Data {
+		h.u64(w)
+	}
+	return uint64(h)
+}
+
+// TagInfo classifies tag for the model checker; ok is false for tags the
+// coherence layer does not recognize (the caller's own driver events).
+func (s *System) TagInfo(tag any) (info TagInfo, ok bool) {
+	switch t := tag.(type) {
+	case EnqueueTag:
+		h := fnvOffset
+		h.byte(0x10)
+		h.u64(uint64(int64(t.Issuer.Row)))
+		h.u64(uint64(int64(t.Issuer.Col)))
+		h.byte(byte(t.Dim))
+		b := s.busIndex(t.bus)
+		h.u64(uint64(int64(b)))
+		h.u64(opIdentFP(t.Op))
+		return TagInfo{Kind: TagEnqueue, Bus: b, Issuer: t.Issuer, FP: uint64(h)}, true
+	case bus.GrantTag:
+		h := fnvOffset
+		h.byte(0x11)
+		b := s.busIndex(t.B)
+		h.u64(uint64(int64(b)))
+		return TagInfo{Kind: TagGrant, Bus: b, FP: uint64(h)}, true
+	case bus.DeliverTag:
+		h := fnvOffset
+		h.byte(0x12)
+		b := s.busIndex(t.B)
+		h.u64(uint64(int64(b)))
+		if op, isOp := t.Pkt.(*Op); isOp {
+			h.u64(opIdentFP(op))
+		}
+		return TagInfo{Kind: TagDeliver, Bus: b, FP: uint64(h)}, true
+	}
+	return TagInfo{Bus: -1}, false
+}
+
+// BusIndexByName maps a bus's diagnostic name to the machine-stable bus
+// identity used by TagInfo, or -1. The model checker uses it to classify
+// arbitration choice points, which are identified by bus name.
+func (s *System) BusIndexByName(name string) int {
+	for r := 0; r < s.cfg.N; r++ {
+		if s.rows[r].Name() == name {
+			return r
+		}
+	}
+	for c := 0; c < s.cfg.N; c++ {
+		if s.cols[c].Name() == name {
+			return s.cfg.N + c
+		}
+	}
+	return -1
+}
+
+// PacketFP fingerprints a bus packet (a *Op) for the model checker's
+// transition identities at arbitration choice points; ok is false for
+// foreign packet types.
+func (s *System) PacketFP(pkt any) (uint64, bool) {
+	op, isOp := pkt.(*Op)
+	if !isOp {
+		return 0, false
+	}
+	return opIdentFP(op), true
 }

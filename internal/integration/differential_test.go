@@ -1,0 +1,217 @@
+package integration
+
+import (
+	"fmt"
+	"testing"
+
+	"multicube/internal/core"
+	"multicube/internal/sim"
+	"multicube/internal/singlebus"
+	"multicube/internal/workload"
+)
+
+// Differential testing of the two coherent machines: the same seeded
+// workload runs on the single-bus write-once baseline and on the
+// smallest Multicube, and both must present the same memory semantics.
+// Each shared line has exactly one writer issuing an increasing value
+// sequence, so the per-address coherence order is pinned to the writer's
+// program order on any correct machine; every reader's observations must
+// walk that order monotonically, and the final memory images — shared
+// and private — must be identical word for word across the machines.
+//
+// The configurations are deliberately tight (direct-mapped four-line
+// caches, a bounded modified line table on the grid) so victim
+// write-backs and table overflows fire constantly: the structural paths
+// where the two protocols differ most are exactly the paths that must
+// not change what programs observe.
+
+const (
+	dfProcs      = 4 // singlebus processors; the 2×2 grid matches
+	dfBlockWords = 8
+	dfWrites     = 6  // writes by each shared line's owner
+	dfSteps      = 24 // actions per processor
+)
+
+// dfAction is one step of a processor's generated program.
+type dfAction struct {
+	write bool
+	addr  uint64
+	value uint64 // writes only
+	line  int    // owning shared line for shared reads, else -1
+	think int    // pre-action delay in nanoseconds
+}
+
+// dfPrograms derives the per-processor programs from a seed. Processor p
+// owns shared line p (word address p*dfBlockWords) and is its only
+// writer, with values p*1000+1, p*1000+2, ...; everyone reads random
+// shared lines and reads/writes a private line of their own.
+func dfPrograms(seed uint64) [][]dfAction {
+	progs := make([][]dfAction, dfProcs)
+	for p := 0; p < dfProcs; p++ {
+		rng := workload.NewRand(seed ^ (uint64(p)+1)*0x9e3779b97f4a7c15)
+		shared := uint64(p) * dfBlockWords
+		private := uint64(dfProcs+p) * dfBlockWords
+		nextWrite := uint64(1)
+		var prog []dfAction
+		for i := 0; i < dfSteps; i++ {
+			think := rng.Intn(400)
+			switch r := rng.Intn(4); {
+			case r == 0 && nextWrite <= dfWrites:
+				prog = append(prog, dfAction{write: true, addr: shared,
+					value: uint64(p)*1000 + nextWrite, line: -1, think: think})
+				nextWrite++
+			case r == 1:
+				q := rng.Intn(dfProcs)
+				prog = append(prog, dfAction{addr: uint64(q) * dfBlockWords, line: q, think: think})
+			case r == 2:
+				prog = append(prog, dfAction{write: true, addr: private + uint64(rng.Intn(dfBlockWords)),
+					value: rng.Uint64(), line: -1, think: think})
+			default:
+				prog = append(prog, dfAction{addr: private + uint64(rng.Intn(dfBlockWords)), line: -1, think: think})
+			}
+		}
+		// Guarantee the full write sequence lands even if the draws were
+		// read-heavy, so the final image is the same pure function of the
+		// seed on both machines.
+		for nextWrite <= dfWrites {
+			prog = append(prog, dfAction{write: true, addr: shared,
+				value: uint64(p)*1000 + nextWrite, line: -1, think: rng.Intn(400)})
+			nextWrite++
+		}
+		progs[p] = prog
+	}
+	return progs
+}
+
+// dfObs records every shared-line read: reader, line, observed value.
+type dfObs struct {
+	reader, line int
+	value        uint64
+}
+
+// dfWorker executes one processor's program through a machine-neutral
+// seam; the kernel is single-threaded, so appending to the shared
+// observation log from worker coroutines is safe.
+func dfWorker(p int, prog []dfAction, out *[]dfObs,
+	load func(uint64) uint64, store func(uint64, uint64), sleep func(sim.Time)) {
+	for _, a := range prog {
+		sleep(sim.Time(a.think) * sim.Nanosecond)
+		if a.write {
+			store(a.addr, a.value)
+			continue
+		}
+		v := load(a.addr)
+		if a.line >= 0 {
+			*out = append(*out, dfObs{reader: p, line: a.line, value: v})
+		}
+	}
+}
+
+// dfCheckObs verifies every shared-line observation against the pinned
+// coherence order: values must come from the owner's write sequence (or
+// the initial zero), and each reader must walk a line's order
+// monotonically.
+func dfCheckObs(t *testing.T, machine string, obs []dfObs) {
+	t.Helper()
+	last := map[[2]int]uint64{}
+	for _, o := range obs {
+		idx := uint64(0)
+		if o.value != 0 {
+			idx = o.value - uint64(o.line)*1000
+			if idx < 1 || idx > dfWrites {
+				t.Fatalf("%s: proc %d read %d from shared line %d — not in the owner's write sequence",
+					machine, o.reader, o.value, o.line)
+			}
+		}
+		key := [2]int{o.reader, o.line}
+		if idx < last[key] {
+			t.Fatalf("%s: proc %d observed line %d going backwards: write #%d after #%d",
+				machine, o.reader, o.line, idx, last[key])
+		}
+		last[key] = idx
+	}
+}
+
+// dfImage reads back every address the workload touched.
+func dfImage(read func(addr uint64) uint64) map[uint64]uint64 {
+	img := make(map[uint64]uint64)
+	for p := 0; p < 2*dfProcs; p++ {
+		base := uint64(p) * dfBlockWords
+		for w := uint64(0); w < dfBlockWords; w++ {
+			img[base+w] = read(base + w)
+		}
+	}
+	return img
+}
+
+func TestDifferentialSingleBusVsMulticube(t *testing.T) {
+	seeds := []uint64{1, 42, 977}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			progs := dfPrograms(seed)
+
+			// Single-bus baseline, tight direct-mapped caches.
+			sb := singlebus.MustNew(singlebus.Config{
+				Processors: dfProcs, BlockWords: dfBlockWords,
+				CacheLines: 4, CacheAssoc: 1,
+			})
+			var sbObs []dfObs
+			for p := 0; p < dfProcs; p++ {
+				p := p
+				sb.Spawn(p, func(c *singlebus.Ctx) {
+					dfWorker(p, progs[p], &sbObs,
+						func(a uint64) uint64 { return c.Load(singlebus.Addr(a)) },
+						func(a, v uint64) { c.Store(singlebus.Addr(a), v) },
+						c.Sleep)
+				})
+			}
+			sb.Run()
+			dfCheckObs(t, "singlebus", sbObs)
+			sbImg := dfImage(func(a uint64) uint64 { return sb.ReadCoherent(singlebus.Addr(a)) })
+
+			// The smallest Multicube (2×2 grid, same processor count),
+			// tight caches and modified line tables.
+			mc := core.MustNew(core.Config{
+				N: 2, BlockWords: dfBlockWords,
+				CacheLines: 4, CacheAssoc: 1,
+				MLTEntries: 2, MLTAssoc: 1,
+			})
+			var mcObs []dfObs
+			for p := 0; p < dfProcs; p++ {
+				p := p
+				mc.Spawn(p, func(c *core.Ctx) {
+					dfWorker(p, progs[p], &mcObs,
+						func(a uint64) uint64 { return c.Load(core.Addr(a)) },
+						func(a, v uint64) { c.Store(core.Addr(a), v) },
+						c.Sleep)
+				})
+			}
+			mc.Run()
+			for _, err := range mc.CheckInvariants() {
+				t.Errorf("multicube invariant: %v", err)
+			}
+			dfCheckObs(t, "multicube", mcObs)
+			mcImg := dfImage(func(a uint64) uint64 { return mc.ReadCoherent(core.Addr(a)) })
+
+			// The machines must agree on every touched word.
+			for addr, want := range sbImg {
+				if got := mcImg[addr]; got != want {
+					t.Errorf("address %d: singlebus %d, multicube %d", addr, want, got)
+				}
+			}
+			// And both must agree with the seed-determined expectation on
+			// the shared words every owner finished writing.
+			for p := 0; p < dfProcs; p++ {
+				want := uint64(p)*1000 + dfWrites
+				if got := sbImg[uint64(p)*dfBlockWords]; got != want {
+					t.Errorf("singlebus shared line %d final = %d, want %d", p, got, want)
+				}
+			}
+			t.Logf("seed %d: %d singlebus / %d multicube shared observations agree",
+				seed, len(sbObs), len(mcObs))
+		})
+	}
+}

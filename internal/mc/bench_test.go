@@ -1,0 +1,64 @@
+package mc
+
+import (
+	"testing"
+)
+
+// BenchmarkExplore measures the model checker's state-exploration
+// throughput on the 2×2 presets (the 3×3 ones are too slow for a bench
+// loop). Each iteration is a full bounded exploration from scratch with
+// the default persistent/sleep-set reduction; the custom states/sec
+// metric is the number the optimization work cares about — ns/op tracks
+// scenario size, states/sec tracks the explorer. BENCH_mc.json at the
+// repository root records the baseline. Run with:
+//
+//	go test ./internal/mc/ -bench=BenchmarkExplore -benchtime=2x
+func BenchmarkExplore(b *testing.B) {
+	for _, name := range []string{
+		"readmod-race", "read-race", "sync-race", "mlt-overflow-lock",
+		"sb-writeonce-race", "sb-victim-race",
+	} {
+		sc, err := Preset(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			states := 0
+			for i := 0; i < b.N; i++ {
+				res, err := Explore(sc, Options{MaxStates: 400000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Violation != nil {
+					b.Fatalf("unexpected violation: %v", res.Violation)
+				}
+				states += res.States
+			}
+			b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/sec")
+			b.ReportMetric(float64(states)/float64(b.N), "states")
+		})
+	}
+}
+
+// BenchmarkExploreLegacyAmple is the same sweep under PR 1's ample rule,
+// so a states/sec regression can be told apart from a reduction change.
+func BenchmarkExploreLegacyAmple(b *testing.B) {
+	for _, name := range []string{"readmod-race", "read-race"} {
+		sc, err := Preset(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			states := 0
+			for i := 0; i < b.N; i++ {
+				res, err := Explore(sc, Options{MaxStates: 400000, legacyAmple: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states += res.States
+			}
+			b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/sec")
+			b.ReportMetric(float64(states)/float64(b.N), "states")
+		})
+	}
+}

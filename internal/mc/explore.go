@@ -2,6 +2,8 @@ package mc
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"multicube/internal/bus"
 	"multicube/internal/coherence"
@@ -46,11 +48,29 @@ type Options struct {
 	// default of 128. The protocol legitimately retries lost races, so
 	// the bound is generous rather than tight.
 	MaxReissues int
-	// DisablePOR turns off the ample-set partial-order reduction, for
+	// Workers sets the number of concurrent exploration workers (the
+	// -workers flag); zero or one means a single-threaded search. The
+	// verdict and the reported counterexample are deterministic
+	// regardless of Workers — a violation found by a parallel pass is
+	// re-derived by the sequential search, which is a pure function of
+	// the scenario and options, before being reported — but the
+	// States/Runs statistics of a violation-free parallel search can
+	// vary from run to run with worker scheduling.
+	Workers int
+	// DisablePOR turns off the partial-order reduction entirely (both
+	// the persistent-set eager-firing and the sleep sets), for
 	// cross-checking that the reduction hides no violations.
 	DisablePOR bool
+	// DisableSleep turns off only the sleep-set half of the reduction,
+	// leaving persistent-set eager-firing active.
+	DisableSleep bool
 	// NoMinimize skips counterexample shrinking.
 	NoMinimize bool
+
+	// legacyAmple swaps the persistent-set rule for PR 1's conservative
+	// ample rule and disables sleep sets, so tests can compare the two
+	// reductions' state counts on identical scenarios.
+	legacyAmple bool
 }
 
 func (o *Options) fillDefaults() {
@@ -62,6 +82,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.MaxReissues == 0 {
 		o.MaxReissues = 128
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 }
 
@@ -86,28 +109,146 @@ type Result struct {
 	Violation *Violation
 }
 
-// take records one resolved choice point.
+// checker is one from-scratch execution of a scenario on some machine —
+// the Multicube (instance) or the single-bus baseline (sbInstance).
+// Everything the explorer needs is behind this seam, so the same search,
+// reduction, witness, and replay machinery checks both.
+type checker interface {
+	kernel() *sim.Kernel
+	enableMC(ch sim.Chooser)
+	stepCheck(maxReissues int) *Violation
+	quiescenceCheck() *Violation
+	canonicalFP() uint64
+	// classify describes a kernel event tag to the reduction.
+	classify(tag any) tagClass
+	// grantClass describes one bus-arbitration candidate (the packet
+	// that would be granted) on the named bus.
+	grantClass(busName string, tag any) tagClass
+}
+
+func newChecker(sc *Scenario) checker {
+	if sc.SingleBus {
+		return newSBInstance(sc)
+	}
+	return newInstance(sc)
+}
+
+// take records one resolved choice point. Beyond the prefix, under the
+// sleep-set reduction, it also records the candidates' classes and the
+// sleep set in force, which the spawner needs to seed sibling branches.
 type take struct {
-	pick int
-	n    int
+	pick    int
+	n       int
+	cands   []tagClass
+	sleepAt sleepSet
+}
+
+func picksOf(taken []take) []int {
+	out := make([]int, len(taken))
+	for i := range taken {
+		out[i] = taken[i].pick
+	}
+	return out
+}
+
+// workItem is one pending branch: a choice prefix plus the sleep set
+// that becomes active once the prefix is replayed.
+type workItem struct {
+	prefix []int
+	sleep  sleepSet
 }
 
 // mcChooser scripts an execution: the first len(prefix) choice points
-// follow the prefix, the rest pick the default 0. Ample-set reduction
-// happens here — an eager pick is NOT recorded as a choice point, which
-// is sound because the ample decision is a pure function of the
-// candidate set and therefore replays identically.
+// follow the prefix, the rest pick the first non-slept candidate (plain
+// 0 when sleep sets are off). Reduction happens here — an eager pick is
+// NOT recorded as a choice point, which is sound because the persistent
+// (or legacy ample) decision is a pure function of the candidate set and
+// therefore replays identically.
+//
+// Sleep bookkeeping: the chooser implements sim.DispatchObserver, so it
+// sees every dispatched kernel event — including single-candidate
+// dispatches and eager fires — and drops sleep members dependent with
+// each executed transition. The work item's sleep set activates exactly
+// when its prefix's final pick has dispatched: for a scheduler choice
+// the chooser arms and installs it on the next Dispatched callback (the
+// picked event itself, which must not be filtered against it); for an
+// arbitration choice the grant event has already dispatched, so it
+// installs immediately.
 type mcChooser struct {
-	prefix   []int
-	depth    int
-	por      bool
+	n         int
+	classify  func(any) tagClass
+	grantCls  func(string, any) tagClass
+	prefix    []int
+	depth     int
+	eager     bool
+	legacy    bool
+	sleepOn   bool
+	initSleep sleepSet
+
+	sleep    sleepSet
+	armed    bool
+	active   bool
 	taken    []take
 	limitHit bool
+	blocked  bool
+}
+
+func newMCChooser(ck checker, n int, it workItem, depth int, opts *Options) *mcChooser {
+	c := &mcChooser{
+		n:         n,
+		classify:  ck.classify,
+		grantCls:  ck.grantClass,
+		prefix:    it.prefix,
+		depth:     depth,
+		eager:     !opts.DisablePOR,
+		legacy:    opts.legacyAmple,
+		sleepOn:   !opts.DisablePOR && !opts.DisableSleep && !opts.legacyAmple,
+		initSleep: it.sleep,
+	}
+	if c.sleepOn && len(c.prefix) == 0 {
+		c.active = true
+		c.sleep = c.initSleep
+	}
+	return c
+}
+
+// replayChooser scripts a counterexample re-execution: prefix picks,
+// then default 0, with the same eager-firing as exploration but no sleep
+// sets (a Violation's Choices records every resolved choice point up to
+// the failure, so the replay is exact either way).
+func replayChooser(ck checker, n int, prefix []int, opts *Options) *mcChooser {
+	return &mcChooser{
+		n:        n,
+		classify: ck.classify,
+		grantCls: ck.grantClass,
+		prefix:   prefix,
+		eager:    !opts.DisablePOR,
+		legacy:   opts.legacyAmple,
+	}
 }
 
 func (c *mcChooser) Choose(cp sim.ChoicePoint, cands []sim.Candidate) int {
-	if c.por && cp.Kind == "sched" {
-		if i := ampleIndex(cands); i >= 0 {
+	isSched := cp.Kind == "sched"
+	var classes []tagClass
+	classesOf := func() []tagClass {
+		if classes == nil {
+			classes = make([]tagClass, len(cands))
+			for i := range cands {
+				if isSched {
+					classes[i] = c.classify(cands[i].Tag)
+				} else {
+					classes[i] = c.grantCls(cp.Name, cands[i].Tag)
+				}
+			}
+		}
+		return classes
+	}
+	if c.eager && isSched {
+		if c.legacy {
+			if i := ampleIndex(cands); i >= 0 {
+				return i
+			}
+		} else if i := persistentIndex(c.n, classesOf()); i >= 0 {
 			return i
 		}
 	}
@@ -115,15 +256,59 @@ func (c *mcChooser) Choose(cp sim.ChoicePoint, cands []sim.Candidate) int {
 		c.limitHit = true
 		return 0
 	}
+	scripted := len(c.taken) < len(c.prefix)
 	pick := 0
-	if len(c.taken) < len(c.prefix) {
+	if scripted {
 		pick = c.prefix[len(c.taken)]
 		if pick < 0 || pick >= len(cands) {
 			pick = 0
 		}
+	} else if c.sleepOn && isSched {
+		pick = -1
+		cls := classesOf()
+		for i := range cands {
+			if !c.sleep.contains(cls[i].fp) {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			// Every enabled transition is slept: everything from here is
+			// covered by sibling branches. Truncate the run.
+			c.blocked = true
+			return 0
+		}
 	}
-	c.taken = append(c.taken, take{pick: pick, n: len(cands)})
+	tk := take{pick: pick, n: len(cands)}
+	if !scripted && c.sleepOn {
+		tk.cands = classesOf()
+		tk.sleepAt = c.sleep
+	}
+	c.taken = append(c.taken, tk)
+	if c.sleepOn && len(c.taken) == len(c.prefix) {
+		if isSched {
+			c.armed = true
+		} else {
+			c.sleep = c.initSleep
+			c.active = true
+		}
+	}
 	return pick
+}
+
+// Dispatched implements sim.DispatchObserver: sleep members stop being
+// skippable once a dependent transition executes.
+func (c *mcChooser) Dispatched(tag any) {
+	if c.armed {
+		c.armed = false
+		c.active = true
+		c.sleep = c.initSleep
+		return
+	}
+	if !c.active || len(c.sleep) == 0 {
+		return
+	}
+	c.sleep = c.sleep.afterExec(c.n, c.classify(tag))
 }
 
 func (c *mcChooser) picks(upto int) []int {
@@ -134,19 +319,11 @@ func (c *mcChooser) picks(upto int) []int {
 	return out
 }
 
-// ampleIndex finds a pending event that commutes with every other
-// enabled event, so firing it first loses no interleavings. The only
-// such events are device-latency enqueues (EnqueueTag): their sole
-// effect is appending an operation to a bus queue. An enqueue stops
-// commuting when the candidate set also contains:
-//
-//   - a grant on the same bus (the enqueue order decides whether the
-//     operation reaches that arbitration),
-//   - another enqueue from the same issuer onto the same bus (per-source
-//     FIFO order is hardware; their relative order is a real choice), or
-//   - any event that can itself enqueue — a delivery (snoop handlers
-//     issue zero-latency responses inline) or a processor step — since
-//     the same-source ordering above could be at stake.
+// ampleIndex is PR 1's conservative eager rule, kept (behind
+// Options.legacyAmple) so tests can show the persistent/sleep reduction
+// explores strictly fewer states. It finds a pending enqueue that
+// commutes with every other enabled event under a coarser dependence:
+// any delivery or processor step conflicts with any enqueue.
 func ampleIndex(cands []sim.Candidate) int {
 	for i, c := range cands {
 		et, ok := c.Tag.(coherence.EnqueueTag)
@@ -183,12 +360,73 @@ func ampleIndex(cands []sim.Candidate) int {
 	return -1
 }
 
+// visitedSet is the sharded visited-state table. Each fingerprint maps
+// to the smallest sleep set (as sorted transition fingerprints) it has
+// been explored with: arriving with a superset means everything from
+// here was already covered; arriving with anything else means some
+// successors were skipped last time, so the state is re-explored and the
+// table keeps the intersection (the successors covered by both visits'
+// complements). An empty stored set — always the case with sleep sets
+// off — truncates every revisit, PR 1's behavior.
+type visitedSet struct {
+	shards [64]visitShard
+	count  atomic.Int64
+}
+
+type visitShard struct {
+	mu sync.Mutex
+	m  map[uint64][]uint64
+}
+
+type visitResult uint8
+
+const (
+	visitNew visitResult = iota
+	visitAgain
+	visitSeen
+	visitBudget
+)
+
+func newVisitedSet() *visitedSet {
+	v := &visitedSet{}
+	for i := range v.shards {
+		v.shards[i].m = make(map[uint64][]uint64)
+	}
+	return v
+}
+
+func (v *visitedSet) visit(fp uint64, sleep []uint64, max int) visitResult {
+	sh := &v.shards[fp&uint64(len(v.shards)-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if stored, ok := sh.m[fp]; ok {
+		if subsetOf(stored, sleep) {
+			return visitSeen
+		}
+		sh.m[fp] = intersectSorted(stored, sleep)
+		return visitAgain
+	}
+	if v.count.Add(1) > int64(max) {
+		v.count.Add(-1)
+		return visitBudget
+	}
+	sh.m[fp] = sleep
+	return visitNew
+}
+
+func (v *visitedSet) states() int { return int(v.count.Load()) }
+
 // explorer holds the cross-run state of one exploration.
 type explorer struct {
-	sc        *Scenario
-	opts      Options
-	visited   map[uint64]struct{}
-	budgetHit bool
+	sc      *Scenario
+	opts    Options
+	n       int
+	visited *visitedSet
+	budget  atomic.Bool
+}
+
+func newExplorer(sc *Scenario, opts Options) *explorer {
+	return &explorer{sc: sc, opts: opts, n: sc.N, visited: newVisitedSet()}
 }
 
 type runOut struct {
@@ -197,50 +435,104 @@ type runOut struct {
 	truncated bool // stopped at an already-visited state
 	limitHit  bool // the depth bound forced a default choice
 	stepsHit  bool // the per-run step guard fired
+	blocked   bool // every enabled transition was slept
+	budgetCut bool // this run hit the state budget
 }
 
-// run executes the scenario from scratch under the given choice prefix.
+// run executes the scenario from scratch under the given work item.
 // When track is set, states beyond the prefix are checked against and
 // added to the visited table (prefix replay must not consult it: those
-// states were recorded by the run that spawned this prefix, and
-// truncating the replay would orphan the branch).
-func (e *explorer) run(prefix []int, depth int, track bool) runOut {
-	in := newInstance(e.sc)
-	ch := &mcChooser{prefix: prefix, depth: depth, por: !e.opts.DisablePOR}
-	in.sys.EnableModelChecking(ch)
+// states were recorded by the run that spawned this branch, and
+// truncating the replay would orphan it).
+func (e *explorer) run(it workItem, depth int, track bool) runOut {
+	ck := newChecker(e.sc)
+	ch := newMCChooser(ck, e.n, it, depth, &e.opts)
+	return e.execute(ck, ch, len(it.prefix), track)
+}
+
+func (e *explorer) execute(ck checker, ch *mcChooser, prefixLen int, track bool) runOut {
+	ck.enableMC(ch)
+	k := ck.kernel()
 	var out runOut
 	steps := 0
-	for in.k.Pending() > 0 {
+	for k.Pending() > 0 {
 		if steps >= e.opts.MaxStepsPerRun {
 			out.stepsHit = true
 			break
 		}
-		in.k.Step()
+		k.Step()
 		steps++
-		if v := in.stepCheck(e.opts.MaxReissues); v != nil {
+		if ch.blocked {
+			out.blocked = true
+			break
+		}
+		if v := ck.stepCheck(e.opts.MaxReissues); v != nil {
 			out.violation = v
 			break
 		}
-		if track && len(ch.taken) >= len(prefix) {
-			fp := in.canonicalFP()
-			if _, ok := e.visited[fp]; ok {
+		if track && len(ch.taken) >= prefixLen {
+			switch e.visited.visit(ck.canonicalFP(), ch.sleep.fps(), e.opts.MaxStates) {
+			case visitSeen:
 				out.truncated = true
+			case visitBudget:
+				e.budget.Store(true)
+				out.budgetCut = true
+			}
+			if out.truncated || out.budgetCut {
 				break
 			}
-			if len(e.visited) >= e.opts.MaxStates {
-				e.budgetHit = true
-				break
-			}
-			e.visited[fp] = struct{}{}
 		}
 	}
-	if out.violation == nil && !out.truncated && !out.stepsHit && !e.budgetHit && in.k.Pending() == 0 {
-		out.violation = in.quiescenceCheck()
+	if out.violation == nil && !out.truncated && !out.blocked && !out.stepsHit && !out.budgetCut && k.Pending() == 0 {
+		out.violation = ck.quiescenceCheck()
 	}
 	out.taken = ch.taken
 	out.limitHit = ch.limitHit
 	if out.violation != nil {
-		out.violation.Choices = ch.picks(len(ch.taken))
+		out.violation.Choices = picksOf(ch.taken)
+	}
+	return out
+}
+
+// children spawns the unexplored alternatives of every choice point a
+// run resolved beyond its prefix (positions inside the prefix belong to
+// ancestor runs). Under the sleep-set reduction, alternatives already
+// slept at the point are skipped, and each spawned sibling inherits the
+// point's sleep set plus its earlier siblings, filtered to the members
+// independent of its own pick.
+func (e *explorer) children(it workItem, r runOut) []workItem {
+	var out []workItem
+	for p := len(r.taken) - 1; p >= len(it.prefix); p-- {
+		t := r.taken[p]
+		if t.n < 2 {
+			continue
+		}
+		base := make([]int, p)
+		for i := 0; i < p; i++ {
+			base[i] = r.taken[i].pick
+		}
+		if t.cands == nil {
+			// Sleep sets off: spawn every alternative.
+			for alt := t.n - 1; alt >= 1; alt-- {
+				out = append(out, workItem{prefix: append(append([]int(nil), base...), alt)})
+			}
+			continue
+		}
+		done := []tagClass{t.cands[t.pick]}
+		for alt := 0; alt < t.n; alt++ {
+			if alt == t.pick {
+				continue
+			}
+			cls := t.cands[alt]
+			if t.sleepAt.contains(cls.fp) {
+				continue
+			}
+			out = append(out, workItem{
+				prefix: append(append([]int(nil), base...), alt),
+				sleep:  childSleep(e.n, t.sleepAt, done, cls),
+			})
+			done = append(done, cls)
+		}
 	}
 	return out
 }
@@ -252,14 +544,16 @@ type passOut struct {
 	stepsAny  bool
 }
 
-// pass runs one depth-bounded DFS over choice sequences.
+// pass runs one depth-bounded sequential DFS over choice sequences. Its
+// outcome — including which violation is found first — is a pure
+// function of the scenario and options.
 func (e *explorer) pass(depth int) passOut {
 	var out passOut
-	stack := [][]int{nil}
-	for len(stack) > 0 && !e.budgetHit {
-		prefix := stack[len(stack)-1]
+	stack := []workItem{{}}
+	for len(stack) > 0 && !e.budget.Load() {
+		it := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		r := e.run(prefix, depth, true)
+		r := e.run(it, depth, true)
 		out.runs++
 		out.limitAny = out.limitAny || r.limitHit
 		out.stepsAny = out.stepsAny || r.stepsHit
@@ -267,23 +561,84 @@ func (e *explorer) pass(depth int) passOut {
 			out.violation = r.violation
 			return out
 		}
-		// Spawn the unexplored alternatives of every choice point this
-		// run resolved beyond its prefix. Positions inside the prefix
-		// belong to ancestor runs.
-		for p := len(r.taken) - 1; p >= len(prefix); p-- {
-			if r.taken[p].n < 2 {
-				continue
-			}
-			base := make([]int, p)
-			for i := 0; i < p; i++ {
-				base[i] = r.taken[i].pick
-			}
-			for alt := r.taken[p].n - 1; alt >= 1; alt-- {
-				stack = append(stack, append(append([]int(nil), base...), alt))
-			}
-		}
+		stack = append(stack, e.children(it, r)...)
 	}
 	return out
+}
+
+// passParallel is the worker-pool frontier: a shared LIFO of work items
+// drained by Workers goroutines against the sharded visited table. On a
+// violation the pass stops early, keeping the shortlex-least violation
+// any worker found (the caller re-derives the canonical one
+// sequentially).
+func (e *explorer) passParallel(depth, workers int) passOut {
+	var (
+		mu          sync.Mutex
+		queue       = []workItem{{}}
+		outstanding = 1
+		stop        bool
+		out         passOut
+	)
+	cond := sync.NewCond(&mu)
+	var wg sync.WaitGroup
+	worker := func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			for len(queue) == 0 && outstanding > 0 && !stop {
+				cond.Wait()
+			}
+			if stop || len(queue) == 0 {
+				mu.Unlock()
+				return
+			}
+			it := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			mu.Unlock()
+
+			r := e.run(it, depth, true)
+			kids := e.children(it, r)
+
+			mu.Lock()
+			out.runs++
+			out.limitAny = out.limitAny || r.limitHit
+			out.stepsAny = out.stepsAny || r.stepsHit
+			if r.violation != nil {
+				if out.violation == nil || shortlexLess(r.violation.Choices, out.violation.Choices) {
+					out.violation = r.violation
+				}
+				stop = true
+			}
+			if r.budgetCut {
+				stop = true
+			}
+			if !stop {
+				queue = append(queue, kids...)
+				outstanding += len(kids)
+			}
+			outstanding--
+			cond.Broadcast()
+			mu.Unlock()
+		}
+	}
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go worker()
+	}
+	wg.Wait()
+	return out
+}
+
+func shortlexLess(a, b []int) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
 }
 
 // Explore model-checks the scenario within the given bounds.
@@ -293,7 +648,28 @@ func Explore(sc Scenario, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	opts.fillDefaults()
-	e := &explorer{sc: &sc, opts: opts}
+	res := exploreBounded(&sc, opts)
+	if opts.Workers > 1 && res.Violation != nil {
+		// Deterministic reporting: which violation a parallel pass trips
+		// first depends on worker scheduling, so re-derive the whole
+		// result with the sequential search. It finds a violation too
+		// (the parallel pass proved one reachable) unless the sequential
+		// order burns the state budget first; then fall back to
+		// minimizing the parallel pass's shortlex-least find.
+		seq := opts
+		seq.Workers = 1
+		if sres := exploreBounded(&sc, seq); sres.Violation != nil {
+			res = sres
+		} else if !opts.NoMinimize {
+			e := newExplorer(&sc, opts)
+			res.Violation = e.minimize(res.Violation)
+		}
+	}
+	return res, nil
+}
+
+func exploreBounded(sc *Scenario, opts Options) Result {
+	e := &explorer{sc: sc, opts: opts, n: sc.N}
 	res := Result{Scenario: sc.Name}
 
 	depth := opts.MaxDepth // 0 = unlimited: a single full-depth pass
@@ -301,43 +677,56 @@ func Explore(sc Scenario, opts Options) (Result, error) {
 		depth = opts.DepthStep
 	}
 	for {
-		e.visited = make(map[uint64]struct{})
-		e.budgetHit = false
-		p := e.pass(depth)
+		e.visited = newVisitedSet()
+		e.budget.Store(false)
+		var p passOut
+		if opts.Workers > 1 {
+			p = e.passParallel(depth, opts.Workers)
+		} else {
+			p = e.pass(depth)
+		}
 		res.TotalRuns += p.runs
 		res.Runs = p.runs
-		res.States = len(e.visited)
+		res.States = e.visited.states()
 		res.Depth = depth
-		res.BudgetHit = e.budgetHit
+		res.BudgetHit = e.budget.Load()
 		if p.violation != nil {
 			v := p.violation
-			if !opts.NoMinimize {
+			if opts.Workers <= 1 && !opts.NoMinimize {
 				v = e.minimize(v)
 			}
 			res.Violation = v
-			return res, nil
+			return res
 		}
-		if e.budgetHit {
-			return res, nil
+		if res.BudgetHit {
+			return res
 		}
 		if !p.limitAny && !p.stepsAny {
 			// No run was cut short: the bounded space is exhausted and
 			// deeper iterations would explore nothing new.
 			res.Exhausted = true
-			return res, nil
+			return res
 		}
 		atMax := opts.DepthStep == 0 || (opts.MaxDepth > 0 && depth >= opts.MaxDepth)
 		if atMax || !p.limitAny {
 			// Some run was cut by the step guard (or the final depth):
 			// the space was not fully covered, and deepening further
 			// would not change that.
-			return res, nil
+			return res
 		}
 		depth += opts.DepthStep
 		if opts.MaxDepth > 0 && depth > opts.MaxDepth {
 			depth = opts.MaxDepth
 		}
 	}
+}
+
+// replayRun re-executes a bare choice prefix with defaults beyond it and
+// no sleep sets — the semantics Violation.Choices is defined against.
+func (e *explorer) replayRun(prefix []int) runOut {
+	ck := newChecker(e.sc)
+	ch := replayChooser(ck, e.n, prefix, &e.opts)
+	return e.execute(ck, ch, len(prefix), false)
 }
 
 // minimize greedily shrinks a counterexample: repeatedly lower the
@@ -358,7 +747,7 @@ func (e *explorer) minimize(v *Violation) *Violation {
 				cand := append([]int(nil), cur.Choices[:i+1]...)
 				cand[i] = alt
 				attempts++
-				r := e.run(cand, 0, false)
+				r := e.replayRun(cand)
 				if r.violation != nil && r.violation.Kind == cur.Kind {
 					cur = r.violation
 					improved = true

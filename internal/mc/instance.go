@@ -169,6 +169,51 @@ func (in *instance) fail(msg string) {
 	}
 }
 
+// --- the checker seam -----------------------------------------------------
+
+func (in *instance) kernel() *sim.Kernel     { return in.k }
+func (in *instance) enableMC(ch sim.Chooser) { in.sys.EnableModelChecking(ch) }
+
+// classify describes a kernel event tag to the partial-order reduction:
+// driver step events carry the stepping processor's coordinate; protocol
+// events defer to the coherence layer's TagInfo.
+func (in *instance) classify(tag any) tagClass {
+	if st, ok := tag.(stepTag); ok {
+		m := newMixer()
+		m.word(0x20)
+		m.word(uint64(st.proc))
+		m.word(uint64(st.step))
+		return tagClass{kind: tkStep, bus: -1, at: in.sc.Procs[st.proc].At, fp: uint64(m)}
+	}
+	if ti, ok := in.sys.TagInfo(tag); ok {
+		kind := tkOther
+		switch ti.Kind {
+		case coherence.TagEnqueue:
+			kind = tkEnqueue
+		case coherence.TagGrant:
+			kind = tkGrant
+		case coherence.TagDeliver:
+			kind = tkDeliver
+		}
+		return tagClass{kind: kind, bus: ti.Bus, at: ti.Issuer, fp: ti.FP}
+	}
+	return tagClass{kind: tkOther, bus: -1}
+}
+
+// grantClass describes one arbitration candidate: a grant on the named
+// bus of the specific queued packet, so distinct candidates get distinct
+// transition identities.
+func (in *instance) grantClass(busName string, tag any) tagClass {
+	idx := in.sys.BusIndexByName(busName)
+	m := newMixer()
+	m.word(0x11)
+	m.word(uint64(int64(idx)))
+	if fp, ok := in.sys.PacketFP(tag); ok {
+		m.word(fp)
+	}
+	return tagClass{kind: tkGrant, bus: idx, fp: uint64(m)}
+}
+
 // --- per-step and quiescence oracles ------------------------------------
 
 // stepCheck verifies the invariants that must hold in EVERY state, not

@@ -1,0 +1,226 @@
+package mc
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWorkersSameVerdict explores every 2×2 preset single-threaded and
+// with eight workers and requires the same verdict. The parallel pass's
+// States/Runs statistics may vary with scheduling, but whether a
+// violation exists — and which counterexample is reported — must not.
+func TestWorkersSameVerdict(t *testing.T) {
+	budget := 400000
+	if testing.Short() {
+		budget = 4000
+	}
+	for _, name := range []string{"readmod-race", "read-race", "sync-race", "mlt-overflow-lock", "sb-writeonce-race"} {
+		if testing.Short() && name != "read-race" && name != "sb-writeonce-race" {
+			// The budgeted short run still cross-checks the two cheap ones.
+			continue
+		}
+		sc, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := Explore(sc, Options{MaxStates: budget, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Explore(sc, Options{MaxStates: budget, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (seq.Violation == nil) != (par.Violation == nil) {
+			t.Fatalf("%s: workers=1 violation=%v, workers=8 violation=%v",
+				name, seq.Violation, par.Violation)
+		}
+		if seq.Exhausted != par.Exhausted {
+			t.Fatalf("%s: workers=1 exhausted=%v, workers=8 exhausted=%v",
+				name, seq.Exhausted, par.Exhausted)
+		}
+		t.Logf("%s: verdict agrees (violation=%v, exhausted=%v)",
+			name, seq.Violation != nil, seq.Exhausted)
+	}
+}
+
+// TestWorkersSameCounterexample injects the §5.6a protocol gap and
+// requires the eight-worker search to report exactly the minimized
+// counterexample the single-threaded search reports: parallel
+// exploration must not perturb what the user sees.
+func TestWorkersSameCounterexample(t *testing.T) {
+	sc, err := Preset("read-race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.InjectStaleReply = true
+	seq, err := Explore(sc, Options{MaxStates: 400000, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Explore(sc, Options{MaxStates: 400000, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Violation == nil || par.Violation == nil {
+		t.Fatalf("injected bug missed: workers=1 %v, workers=8 %v", seq.Violation, par.Violation)
+	}
+	if seq.Violation.Kind != par.Violation.Kind || seq.Violation.Msg != par.Violation.Msg {
+		t.Fatalf("violations differ:\n  workers=1: %v\n  workers=8: %v", seq.Violation, par.Violation)
+	}
+	if !reflect.DeepEqual(seq.Violation.Choices, par.Violation.Choices) {
+		t.Fatalf("minimized counterexamples differ:\n  workers=1: %v\n  workers=8: %v",
+			seq.Violation.Choices, par.Violation.Choices)
+	}
+}
+
+// TestSleepBeatsAmple pits the persistent/sleep-set reduction against PR
+// 1's ample rule on identical scenarios: the new reduction must visit
+// strictly fewer states, exhaust the same bounded space, and agree that
+// no violation exists. (On the single-bus baseline both reductions are
+// deliberately inert — everything shares the one bus — so that preset is
+// checked for agreement, not improvement.)
+func TestSleepBeatsAmple(t *testing.T) {
+	presets := []string{"read-race"}
+	if !testing.Short() {
+		presets = append(presets, "readmod-race", "readmod-race-3x3", "mlt-overflow-lock")
+	}
+	for _, name := range presets {
+		sc, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := Explore(sc, Options{MaxStates: 400000, legacyAmple: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reduced, err := Explore(sc, Options{MaxStates: 400000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if legacy.Violation != nil || reduced.Violation != nil {
+			t.Fatalf("%s: unexpected violation (ample %v, sleep %v)", name, legacy.Violation, reduced.Violation)
+		}
+		if !legacy.Exhausted || !reduced.Exhausted {
+			t.Fatalf("%s: not exhausted (ample %v, sleep %v)", name, legacy.Exhausted, reduced.Exhausted)
+		}
+		if reduced.States >= legacy.States {
+			t.Fatalf("%s: sleep-set reduction visited %d states, ample visited %d — no improvement",
+				name, reduced.States, legacy.States)
+		}
+		t.Logf("%s: ample %d states, persistent+sleep %d states (%.1f%% fewer)",
+			name, legacy.States, reduced.States,
+			100*float64(legacy.States-reduced.States)/float64(legacy.States))
+	}
+}
+
+// TestSleepFindsInjectedBug cross-checks the sleep-set reduction against
+// the injected §5.6a bug: pruning interleavings must not prune the race.
+func TestSleepFindsInjectedBug(t *testing.T) {
+	sc, err := Preset("read-race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.InjectStaleReply = true
+	for _, opts := range []Options{
+		{MaxStates: 400000},                     // persistent + sleep
+		{MaxStates: 400000, DisableSleep: true}, // persistent only
+		{MaxStates: 400000, legacyAmple: true},  // PR 1's ample rule
+	} {
+		res, err := Explore(sc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation == nil {
+			t.Fatalf("injected bug not found with options %+v", opts)
+		}
+	}
+}
+
+// TestPresets3x3Exhaust requires both 3×3 presets to exhaust their
+// bounded interleaving spaces — six buses, cross-column routing, and the
+// row-symmetry canonicalization all have to hold up at N=3.
+func TestPresets3x3Exhaust(t *testing.T) {
+	for _, name := range []string{"readmod-race-3x3", "mlt-churn-3x3"} {
+		if testing.Short() && name == "mlt-churn-3x3" {
+			continue // ~10s exhaustive; covered by the full run and CI
+		}
+		sc, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Explore(sc, Options{MaxStates: 400000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("%s: %v", name, res.Violation)
+		}
+		if !res.Exhausted {
+			t.Fatalf("%s: not exhausted (states=%d, budget=%v)", name, res.States, res.BudgetHit)
+		}
+		if res.States < 1000 {
+			t.Fatalf("%s: only %d states; the 3×3 scenario lost its interleavings", name, res.States)
+		}
+		t.Logf("%s: %d states, %d runs, exhausted", name, res.States, res.Runs)
+	}
+}
+
+// TestSingleBusPreset runs the write-once baseline preset through the
+// same explorer: the bounded space must exhaust with no violation, and a
+// replay must produce an annotated trace of single-bus transactions.
+func TestSingleBusPreset(t *testing.T) {
+	sc, err := Preset("sb-writeonce-race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Explore(sc, Options{MaxStates: 400000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("write-once baseline: %v", res.Violation)
+	}
+	if !res.Exhausted {
+		t.Fatalf("baseline space not exhausted (states=%d)", res.States)
+	}
+	if res.Runs < 2 {
+		t.Fatalf("only %d runs; the racing write-throughs produced no branching", res.Runs)
+	}
+	rr, err := Replay(sc, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Violation != nil {
+		t.Fatalf("default-schedule replay: %v", rr.Violation)
+	}
+	if !rr.Quiescent || rr.Log.Len() == 0 {
+		t.Fatalf("replay quiescent=%v with %d trace entries", rr.Quiescent, rr.Log.Len())
+	}
+}
+
+// TestVictimRacePreset is the regression for the write-back-buffer bug
+// the swarm caught (seed 9006): a reader's READ winning arbitration
+// ahead of a queued dirty-victim WRITE-BACK used to cache a stale block,
+// because the victim's data was invisible to probes between
+// victimization and the flush's bus grant. The buffer now answers
+// probes; every interleaving must be clean.
+func TestVictimRacePreset(t *testing.T) {
+	sc, err := Preset("sb-victim-race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Explore(sc, Options{MaxStates: 400000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("write-back buffer race: %v", res.Violation)
+	}
+	if !res.Exhausted {
+		t.Fatalf("space not exhausted (states=%d)", res.States)
+	}
+	if res.Runs < 2 {
+		t.Fatalf("only %d runs; the arbitration race produced no branching", res.Runs)
+	}
+}

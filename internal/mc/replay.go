@@ -31,38 +31,46 @@ func Replay(sc Scenario, choices []int, opts Options) (*ReplayResult, error) {
 		return nil, err
 	}
 	opts.fillDefaults()
-	in := newInstance(&sc)
+	ck := newChecker(&sc)
 	log := &trace.BusOpLog{}
-	in.sys.OpLog = func(dim coherence.Dim, issuer topology.Coord, op *coherence.Op) {
-		var busName string
-		if dim == coherence.Row {
-			busName = fmt.Sprintf("row%d", issuer.Row)
-		} else {
-			busName = fmt.Sprintf("col%d", issuer.Col)
+	k := ck.kernel()
+	switch in := ck.(type) {
+	case *instance:
+		in.sys.OpLog = func(dim coherence.Dim, issuer topology.Coord, op *coherence.Op) {
+			var busName string
+			if dim == coherence.Row {
+				busName = fmt.Sprintf("row%d", issuer.Row)
+			} else {
+				busName = fmt.Sprintf("col%d", issuer.Col)
+			}
+			name := fmt.Sprintf("(%d,%d)", issuer.Row, issuer.Col)
+			if issuer.Row < 0 {
+				name = fmt.Sprintf("mem%d", issuer.Col)
+			}
+			log.Append(int(k.Executed()), busName, name, op.String())
 		}
-		name := fmt.Sprintf("(%d,%d)", issuer.Row, issuer.Col)
-		if issuer.Row < 0 {
-			name = fmt.Sprintf("mem%d", issuer.Col)
+	case *sbInstance:
+		in.m.OpLog = func(origin int, op string) {
+			log.Append(int(k.Executed()), "bus", fmt.Sprintf("proc%d", origin), op)
 		}
-		log.Append(int(in.k.Executed()), busName, name, op.String())
 	}
-	ch := &mcChooser{prefix: choices, por: !opts.DisablePOR}
-	in.sys.EnableModelChecking(ch)
+	ch := replayChooser(ck, sc.N, choices, &opts)
+	ck.enableMC(ch)
 	out := &ReplayResult{Log: log}
-	for in.k.Pending() > 0 {
+	for k.Pending() > 0 {
 		if out.Steps >= opts.MaxStepsPerRun {
 			break
 		}
-		in.k.Step()
+		k.Step()
 		out.Steps++
-		if v := in.stepCheck(opts.MaxReissues); v != nil {
+		if v := ck.stepCheck(opts.MaxReissues); v != nil {
 			out.Violation = v
 			break
 		}
 	}
-	out.Quiescent = in.k.Pending() == 0
+	out.Quiescent = k.Pending() == 0
 	if out.Violation == nil && out.Quiescent {
-		out.Violation = in.quiescenceCheck()
+		out.Violation = ck.quiescenceCheck()
 	}
 	if out.Violation != nil {
 		out.Violation.Choices = ch.picks(len(ch.taken))

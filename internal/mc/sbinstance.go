@@ -1,0 +1,214 @@
+package mc
+
+import (
+	"fmt"
+
+	"multicube/internal/bus"
+	"multicube/internal/cache"
+	"multicube/internal/sim"
+	"multicube/internal/singlebus"
+)
+
+// sbInstance is one from-scratch execution of a SingleBus scenario: the
+// write-once baseline machine (internal/singlebus) driven through the
+// same checker seam as the Multicube, with per-processor bounded
+// programs, per-step and quiescence oracles, and the same per-address
+// sequential-consistency witness. Processors are identified by program
+// position; line L's word 0 maps to word address L*BlockWords.
+type sbInstance struct {
+	sc *Scenario
+	k  *sim.Kernel
+	m  *singlebus.Machine
+
+	pc        []int
+	completed int
+	wit       *witness
+	perms     [][]int
+
+	failure string
+}
+
+func newSBInstance(sc *Scenario) *sbInstance {
+	sc.fillDefaults()
+	m := singlebus.MustNew(singlebus.Config{
+		Processors: len(sc.Procs),
+		BlockWords: sc.BlockWords,
+		CacheLines: sc.CacheLines,
+		CacheAssoc: sc.CacheAssoc,
+	})
+	in := &sbInstance{
+		sc:    sc,
+		k:     m.Kernel(),
+		m:     m,
+		pc:    make([]int, len(sc.Procs)),
+		wit:   newWitness(sc),
+		perms: rowPermutations(len(sc.Procs)),
+	}
+	for p := range sc.Procs {
+		p := p
+		in.k.AtTagged(0, stepTag{proc: p, step: 0}, func() { in.issue(p) })
+	}
+	return in
+}
+
+func (in *sbInstance) addr(line uint64) singlebus.Addr {
+	return singlebus.Addr(line * uint64(in.sc.BlockWords))
+}
+
+func (in *sbInstance) issue(p int) {
+	step := in.pc[p]
+	op := in.sc.Procs[p].Ops[step]
+	proc := in.m.Processor(p)
+	switch op.Kind {
+	case OpRead:
+		proc.LoadAsync(in.addr(op.Line), func(v uint64) {
+			in.wit.read(p, op.Line, v)
+			in.complete(p)
+		})
+	case OpWrite:
+		val := writeValue(p, step)
+		proc.StoreAsync(in.addr(op.Line), val, func(old uint64) {
+			in.wit.write(p, op.Line, old, val)
+			in.complete(p)
+		})
+	default:
+		// Validate rejects everything else for SingleBus scenarios.
+		panic(fmt.Sprintf("mc: op kind %v on the single-bus baseline", op.Kind))
+	}
+}
+
+func (in *sbInstance) complete(p int) {
+	in.pc[p]++
+	in.completed++
+	if next := in.pc[p]; next < len(in.sc.Procs[p].Ops) {
+		in.k.AfterTagged(0, stepTag{proc: p, step: next}, func() { in.issue(p) })
+	}
+}
+
+// --- the checker seam -----------------------------------------------------
+
+func (in *sbInstance) kernel() *sim.Kernel     { return in.k }
+func (in *sbInstance) enableMC(ch sim.Chooser) { in.m.EnableModelChecking(ch) }
+
+// classify: the single shared bus serializes everything, so no pair of
+// transitions is provably independent — every class is tkOther and both
+// halves of the reduction are inert on the baseline. That is the honest
+// answer, not a shortcut: write-once relies on bus atomicity, and every
+// pending event can observe or extend the one bus queue.
+func (in *sbInstance) classify(tag any) tagClass {
+	return tagClass{kind: tkOther, bus: -1}
+}
+
+func (in *sbInstance) grantClass(busName string, tag any) tagClass {
+	m := newMixer()
+	m.word(0x11)
+	if pkt, ok := tag.(bus.Packet); ok {
+		if fp, ok := in.m.PacketFP(pkt); ok {
+			m.word(fp)
+		}
+	}
+	return tagClass{kind: tkOther, bus: -1, fp: uint64(m)}
+}
+
+// stepCheck verifies the invariant that must hold in EVERY state: at
+// most one Reserved/Dirty copy of a line machine-wide (write-once's
+// exclusivity is established atomically by the bus transaction, so there
+// is no legitimate transition window for duplicates, unlike the
+// Multicube's).
+func (in *sbInstance) stepCheck(maxReissues int) *Violation {
+	if in.failure != "" {
+		return &Violation{Kind: "protocol", Msg: in.failure}
+	}
+	holders := make(map[cache.Line]int)
+	for i := 0; i < in.m.Processors(); i++ {
+		var dup *Violation
+		in.m.Processor(i).Cache().ForEach(func(e *cache.Entry) {
+			if (e.State != singlebus.Dirty && e.State != singlebus.Reserved) || dup != nil {
+				return
+			}
+			if first, ok := holders[e.Line]; ok {
+				dup = &Violation{Kind: "invariant",
+					Msg: fmt.Sprintf("line %d exclusive in two caches at once: proc%d and proc%d", e.Line, first, i)}
+				return
+			}
+			holders[e.Line] = i
+		})
+		if dup != nil {
+			return dup
+		}
+	}
+	return nil
+}
+
+// quiescenceCheck mirrors the Multicube instance's: program completion,
+// the write-once global-state oracle, and the SC witness.
+func (in *sbInstance) quiescenceCheck() *Violation {
+	if in.completed < in.sc.TotalOps() {
+		var stuck []string
+		for p, pr := range in.sc.Procs {
+			if in.pc[p] < len(pr.Ops) {
+				stuck = append(stuck, fmt.Sprintf("proc%d at op %d/%d (%v line %d)",
+					p, in.pc[p], len(pr.Ops), pr.Ops[in.pc[p]].Kind, pr.Ops[in.pc[p]].Line))
+			}
+		}
+		return &Violation{Kind: "deadlock",
+			Msg: fmt.Sprintf("machine quiescent with unfinished programs: %v", stuck)}
+	}
+	if errs := singlebus.CheckInvariants(in.m); len(errs) > 0 {
+		msg := errs[0].Error()
+		if len(errs) > 1 {
+			msg = fmt.Sprintf("%s (and %d more)", msg, len(errs)-1)
+		}
+		return &Violation{Kind: "invariant", Msg: msg}
+	}
+	if v := in.wit.check(); v != nil {
+		return v
+	}
+	return nil
+}
+
+// canonicalFP fingerprints machine and driver state, minimized over all
+// processor relabelings (every cache controller on the one bus is
+// interchangeable).
+func (in *sbInstance) canonicalFP() uint64 {
+	best := ^uint64(0)
+	for _, perm := range in.perms {
+		perm := perm
+		extra := func(tag any) (uint64, bool) {
+			st, ok := tag.(stepTag)
+			if !ok {
+				return 0, false
+			}
+			m := newMixer()
+			m.word(uint64(perm[st.proc]))
+			m.word(uint64(st.step))
+			return uint64(m), true
+		}
+		m := newMixer()
+		m.word(in.m.Fingerprint(perm, extra))
+		m.word(in.driverFP(perm))
+		if fp := uint64(m); fp < best {
+			best = fp
+		}
+	}
+	return best
+}
+
+func (in *sbInstance) driverFP(perm []int) uint64 {
+	fps := make([]uint64, len(in.sc.Procs))
+	for p, pr := range in.sc.Procs {
+		m := newMixer()
+		m.word(uint64(in.pc[p]))
+		m.word(uint64(len(pr.Ops)))
+		for _, op := range pr.Ops {
+			m.word(uint64(op.Kind))
+			m.word(op.Line)
+		}
+		fps[perm[p]] = uint64(m)
+	}
+	m := newMixer()
+	for _, f := range fps {
+		m.word(f)
+	}
+	return uint64(m)
+}

@@ -95,7 +95,13 @@ type Scenario struct {
 	// (DESIGN.md §5.6a) to demonstrate the checker catching the
 	// resulting stale-sharer states.
 	InjectStaleReply bool
-	Procs            []Proc
+	// SingleBus runs the scenario on the single-bus write-once baseline
+	// (internal/singlebus) instead of the Multicube, through the same
+	// chooser seam: processors are identified by program position (At is
+	// ignored), only OpRead and OpWrite are meaningful, and the same
+	// explorer, oracles, and sequential-consistency witness apply.
+	SingleBus bool
+	Procs     []Proc
 }
 
 func (s *Scenario) fillDefaults() {
@@ -121,6 +127,19 @@ func (s *Scenario) Validate() error {
 	if len(s.Procs) == 0 {
 		return fmt.Errorf("mc: scenario %q has no processors", s.Name)
 	}
+	if s.SingleBus {
+		for p, pr := range s.Procs {
+			if len(pr.Ops) == 0 {
+				return fmt.Errorf("mc: scenario %q: processor %d has an empty program", s.Name, p)
+			}
+			for _, op := range pr.Ops {
+				if op.Kind != OpRead && op.Kind != OpWrite {
+					return fmt.Errorf("mc: scenario %q: op %v not supported on the single-bus baseline", s.Name, op.Kind)
+				}
+			}
+		}
+		return nil
+	}
 	seen := make(map[topology.Coord]bool)
 	for _, p := range s.Procs {
 		if p.At.Row < 0 || p.At.Row >= s.N || p.At.Col < 0 || p.At.Col >= s.N {
@@ -139,7 +158,11 @@ func (s *Scenario) Validate() error {
 
 // Presets returns the built-in scenario names.
 func Presets() []string {
-	return []string{"readmod-race", "read-race", "sync-race", "mlt-overflow-lock"}
+	return []string{
+		"readmod-race", "read-race", "sync-race", "mlt-overflow-lock",
+		"readmod-race-3x3", "mlt-churn-3x3", "sb-writeonce-race",
+		"sb-victim-race",
+	}
 }
 
 // Preset returns a built-in bounded scenario by name.
@@ -189,13 +212,75 @@ func Preset(name string) (Scenario, error) {
 		// A single-entry modified line table forces an overflow while a
 		// lock line is sync-active and pinned: the overflow must
 		// re-insert the pinned entry (footnote 7) rather than strand
-		// the queue, while a second node keeps the column's tables busy.
+		// the queue. The second node sits in the other column: its write
+		// to line 4 inserts into column 0's table over the remote path
+		// (row bus, then the home column bus), keeping the contended
+		// table busy, while its read of line 5 stays on its own column —
+		// traffic the partial-order reduction can prove independent of
+		// column 0's and prune.
 		return Scenario{
 			Name: name, N: 2,
 			MLTEntries: 1, MLTAssoc: 1,
 			Procs: []Proc{
 				{At: c(0, 0), Ops: []ProcOp{{OpTAS, 0}, {OpWrite, 2}, {OpUnlock, 0}}},
-				{At: c(1, 0), Ops: []ProcOp{{OpWrite, 4}, {OpRead, 2}}},
+				{At: c(1, 1), Ops: []ProcOp{{OpWrite, 4}, {OpRead, 5}}},
+			},
+		}, nil
+	case "readmod-race-3x3":
+		// The readmod race on a 3×3 grid: two writers in different rows
+		// AND different columns race READMOD transactions for one line
+		// homed on a third party's column, so requests, purges, and
+		// replies cross four of the six buses. On 3×3, line L is homed
+		// on column L%3.
+		return Scenario{
+			Name: name, N: 3,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpWrite, 0}, {OpRead, 0}}},
+				{At: c(1, 2), Ops: []ProcOp{{OpWrite, 0}, {OpRead, 0}}},
+			},
+		}, nil
+	case "mlt-churn-3x3":
+		// Modified-line-table churn across two home columns on a 3×3
+		// grid: with single-entry tables, one node's writes to lines
+		// homed on columns 0 and 1 force back-to-back MLT inserts and
+		// overflow removes in both columns, while a second node two rows
+		// away races a remote read of the churned line — its request
+		// crosses row 2 and column 1 while the writer's own traffic
+		// crosses row 0 and both home columns.
+		return Scenario{
+			Name: name, N: 3,
+			MLTEntries: 1, MLTAssoc: 1,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpWrite, 0}, {OpWrite, 1}}},
+				{At: c(2, 1), Ops: []ProcOp{{OpRead, 1}}},
+			},
+		}, nil
+	case "sb-writeonce-race":
+		// The single-bus baseline's classic write-once race: both
+		// processors load the line Valid, then both write. One
+		// write-through wins the bus and invalidates the other's copy,
+		// whose now-void write-through must retry as a write miss.
+		return Scenario{
+			Name: name, SingleBus: true,
+			Procs: []Proc{
+				{Ops: []ProcOp{{OpRead, 0}, {OpWrite, 0}, {OpRead, 0}}},
+				{Ops: []ProcOp{{OpRead, 0}, {OpWrite, 0}}},
+			},
+		}, nil
+	case "sb-victim-race":
+		// Distilled from a swarm catch (seed 9006): with a two-line
+		// direct-mapped cache, lines 1 and 3 collide, so the writer's
+		// second write victimizes its dirty line 1 into the write-back
+		// buffer. The reader's READ(1) can win arbitration ahead of the
+		// queued WRITE-BACK — the buffer must answer the probe or the
+		// reader caches a stale block that disagrees with memory the
+		// moment the flush lands.
+		return Scenario{
+			Name: name, SingleBus: true,
+			CacheLines: 2, CacheAssoc: 1,
+			Procs: []Proc{
+				{Ops: []ProcOp{{OpWrite, 1}, {OpWrite, 3}}},
+				{Ops: []ProcOp{{OpRead, 1}}},
 			},
 		}, nil
 	default:

@@ -43,6 +43,17 @@ type Chooser interface {
 	Choose(cp ChoicePoint, cands []Candidate) int
 }
 
+// DispatchObserver is an optional extension of Chooser: when the
+// installed chooser also implements it, the kernel reports every
+// dispatched event's tag — including single-candidate dispatches that
+// never reach Choose. Model checkers use the stream to maintain state
+// that must track execution rather than choice points alone (the
+// sleep-set reduction removes a slept transition when a dependent
+// transition fires, whether or not that firing was a real choice).
+type DispatchObserver interface {
+	Dispatched(tag any)
+}
+
 // DefaultChooser picks candidate 0 at every choice point, reproducing the
 // seeded FIFO schedules exactly.
 type DefaultChooser struct{}

@@ -202,6 +202,9 @@ func (k *Kernel) stepChosen() bool {
 	if e.at > k.now {
 		k.now = e.at
 	}
+	if obs, ok := k.chooser.(DispatchObserver); ok {
+		obs.Dispatched(e.tag)
+	}
 	k.executed++
 	e.fn()
 	return true

@@ -28,6 +28,9 @@ func (mm *memModule) probe(o *op) {
 }
 
 func (mm *memModule) snoop(o *op) {
+	if mm.m.OpLog != nil {
+		mm.m.OpLog(o.origin, o.String())
+	}
 	switch o.kind {
 	case opRead:
 		if o.inhibit {
@@ -39,6 +42,9 @@ func (mm *memModule) snoop(o *op) {
 		// The block is going dirty at the requester; memory keeps its
 		// (possibly stale) contents, as in any write-back protocol.
 	case opWriteBack:
+		if o.canceled {
+			return // the line was re-read or re-claimed off the buffer
+		}
 		mm.store.Write(memory.Line(o.line), o.data)
 	case opWriteWord:
 		if !o.confirmed {

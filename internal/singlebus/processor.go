@@ -26,6 +26,14 @@ type Processor struct {
 
 	pend *pendReq
 
+	// wbuf is the write-back buffer: dirty victims flushed to the bus
+	// but not yet delivered. Like the hardware buffer it models, it is
+	// snooped — a READ or READ-INV for a buffered line is supplied from
+	// here (and cancels the queued flush) so the block's only copy is
+	// never invisible between victimization and the write-back's bus
+	// grant.
+	wbuf []*op
+
 	loads, stores, hits uint64
 	invalidations       uint64
 }
@@ -65,8 +73,10 @@ func (p *Processor) LoadAsync(addr Addr, done func(uint64)) {
 }
 
 // StoreAsync writes value to addr; done fires when the write is complete
-// (including the write-once write-through bus operation when required).
-func (p *Processor) StoreAsync(addr Addr, value uint64, done func()) {
+// (including the write-once write-through bus operation when required)
+// and receives the word value the store overwrote at commit time — the
+// coherence-order predecessor a sequential-consistency witness needs.
+func (p *Processor) StoreAsync(addr Addr, value uint64, done func(old uint64)) {
 	p.stores++
 	line := cache.Line(addr / Addr(p.m.cfg.BlockWords))
 	off := int(addr % Addr(p.m.cfg.BlockWords))
@@ -75,21 +85,22 @@ func (p *Processor) StoreAsync(addr Addr, value uint64, done func()) {
 		case Reserved, Dirty:
 			// Local write; memory diverges.
 			p.hits++
+			old := e.Data[off]
 			e.Data[off] = value
 			e.State = Dirty
-			done()
+			done(old)
 			return
 		case Valid:
 			// First write: write through one word, invalidating other
 			// copies; the line becomes Reserved.
-			p.begin(&pendReq{line: line, write: true, offset: off, value: value, done: func(uint64) { done() }})
+			p.begin(&pendReq{line: line, write: true, offset: off, value: value, done: done})
 			p.m.bus.Request(p.busIdx, p.m.wordOp(p.id, line, off, value))
 			return
 		}
 	}
 	// Write miss: read the block with intent to modify; the line arrives
 	// Dirty with the new word applied.
-	p.begin(&pendReq{line: line, write: true, offset: off, value: value, done: func(uint64) { done() }})
+	p.begin(&pendReq{line: line, write: true, offset: off, value: value, done: done})
 	p.miss(opReadInv)
 }
 
@@ -101,15 +112,36 @@ func (p *Processor) begin(r *pendReq) {
 	p.pend = r
 }
 
-// miss writes back a dirty victim if needed, then issues the atomic
-// read transaction.
+// miss moves a dirty victim into the write-back buffer if needed, then
+// issues the atomic read transaction.
 func (p *Processor) miss(kind opKind) {
 	line := p.pend.line
 	if v := p.cache.SelectVictim(line); v != nil && v.State == Dirty {
-		p.m.bus.Request(p.busIdx, p.m.dataOp(opWriteBack, p.id, v.Line, v.Data))
+		wb := p.m.dataOp(opWriteBack, p.id, v.Line, v.Data)
+		p.wbuf = append(p.wbuf, wb)
+		p.m.bus.Request(p.busIdx, wb)
 		p.cache.Invalidate(v.Line)
 	}
 	p.m.bus.Request(p.busIdx, p.m.readOp(kind, p.id, line))
+}
+
+// wbufFind returns the live buffered write-back for line, if any.
+func (p *Processor) wbufFind(line cache.Line) *op {
+	for _, wb := range p.wbuf {
+		if wb.line == line {
+			return wb
+		}
+	}
+	return nil
+}
+
+func (p *Processor) wbufRemove(wb *op) {
+	for i, o := range p.wbuf {
+		if o == wb {
+			p.wbuf = append(p.wbuf[:i], p.wbuf[i+1:]...)
+			return
+		}
+	}
 }
 
 func (p *Processor) complete(value uint64) {
@@ -127,7 +159,14 @@ func (p *Processor) complete(value uint64) {
 func (p *Processor) probe(o *op) {
 	switch o.kind {
 	case opRead, opReadInv:
-		if o.origin != p.id {
+		if wb := p.wbufFind(o.line); wb != nil {
+			// The block's only copy sits in our write-back buffer; the
+			// buffer answers the probe like the dirty cache entry it
+			// was. This also covers our own re-read of a line we just
+			// victimized — memory is stale until the flush delivers.
+			o.inhibit = true
+			o.data = append([]uint64(nil), wb.data...)
+		} else if o.origin != p.id {
 			if e, ok := p.cache.Lookup(o.line); ok && e.State == Dirty {
 				o.inhibit = true
 				o.data = append([]uint64(nil), e.Data...)
@@ -146,7 +185,21 @@ func (p *Processor) probe(o *op) {
 // transaction.
 func (p *Processor) snoop(o *op) {
 	e, have := p.cache.Lookup(o.line)
+	if o.kind == opRead || o.kind == opReadInv {
+		if wb := p.wbufFind(o.line); wb != nil {
+			// The probe answered from our write-back buffer: memory is
+			// updated by this very transaction (READ reflection) or the
+			// requester takes the block dirty (READ-INV). Either way
+			// the queued flush is stale the moment it would deliver.
+			wb.canceled = true
+			p.wbufRemove(wb)
+		}
+	}
 	switch o.kind {
+	case opWriteBack:
+		if o.origin == p.id {
+			p.wbufRemove(o) // delivered; no-op if it was canceled
+		}
 	case opRead:
 		if o.origin == p.id {
 			p.fill(o, Valid)
@@ -173,10 +226,11 @@ func (p *Processor) snoop(o *op) {
 		if o.origin == p.id {
 			if o.confirmed {
 				// Our write-through completed: apply it, claim Reserved.
+				old := e.Data[o.offset]
 				e.Data[o.offset] = o.value
 				e.State = Reserved
 				if p.pend != nil && p.pend.line == o.line && p.pend.write {
-					p.complete(0)
+					p.complete(old)
 				}
 				return
 			}
@@ -191,7 +245,8 @@ func (p *Processor) snoop(o *op) {
 }
 
 // fill installs the transaction's data block at the originator and
-// completes the processor request.
+// completes the processor request. Writes complete with the word value
+// they overwrote; reads with the word value observed.
 func (p *Processor) fill(o *op, state cache.State) {
 	if p.pend == nil || p.pend.line != o.line {
 		panic(fmt.Sprintf("singlebus: processor %d fill without matching request", p.id))
@@ -200,8 +255,9 @@ func (p *Processor) fill(o *op, state cache.State) {
 	e, _ := p.cache.Lookup(o.line)
 	r := p.pend
 	if r.write {
+		old := e.Data[r.offset]
 		e.Data[r.offset] = r.value
-		p.complete(0)
+		p.complete(old)
 		return
 	}
 	p.complete(e.Data[r.offset])
@@ -247,6 +303,6 @@ func (c *Ctx) Load(addr Addr) uint64 {
 // Store blocks for a write.
 func (c *Ctx) Store(addr Addr, value uint64) {
 	c.proc.Suspend(func(wake func()) {
-		c.p.StoreAsync(addr, value, func() { wake() })
+		c.p.StoreAsync(addr, value, func(uint64) { wake() })
 	})
 }

@@ -111,10 +111,25 @@ type op struct {
 	// write-through is void (the originator retries as a write miss) and
 	// no other agent acts on it.
 	confirmed bool
-	occ       sim.Time
+	// canceled voids a queued write-back whose line was re-read or
+	// re-claimed off the originator's write-back buffer before the
+	// write-back won the bus: the supplying transaction already updated
+	// memory (READ) or transferred ownership (READ-INV), so memory must
+	// ignore the stale flush when it finally delivers.
+	canceled bool
+	occ      sim.Time
 }
 
 func (o *op) Occupancy() sim.Time { return o.occ }
+
+func (o *op) String() string {
+	switch o.kind {
+	case opWriteWord:
+		return fmt.Sprintf("%v(line %d word %d = %d) by proc%d", o.kind, o.line, o.offset, o.value, o.origin)
+	default:
+		return fmt.Sprintf("%v(line %d) by proc%d", o.kind, o.line, o.origin)
+	}
+}
 
 // Machine is the single-bus multiprocessor.
 type Machine struct {
@@ -123,6 +138,11 @@ type Machine struct {
 	bus   *bus.Bus
 	procs []*Processor
 	mem   *memModule
+
+	// OpLog, when set, observes every delivered bus operation (origin
+	// attach index plus a rendered description); the model checker's
+	// replay uses it for annotated counterexample traces.
+	OpLog func(origin int, op string)
 
 	txnCount   uint64
 	txnLatency sim.Time
@@ -166,6 +186,17 @@ func MustNew(cfg Config) *Machine {
 
 // Kernel exposes the simulation kernel.
 func (m *Machine) Kernel() *sim.Kernel { return m.k }
+
+// EnableModelChecking puts the machine in exhaustive-exploration mode,
+// mirroring coherence.System.EnableModelChecking: every pending kernel
+// event is a dispatch candidate (the untimed interpretation) and bus
+// grants are deferred so all queued requests reach arbitration. The
+// chooser then decides every ordering. Used by internal/mc to check the
+// write-once baseline protocol through the same seam as the Multicube.
+func (m *Machine) EnableModelChecking(ch sim.Chooser) {
+	m.k.SetChooser(ch, true)
+	m.bus.SetChooser(ch, true)
+}
 
 // Bus exposes the shared bus for utilization metrics.
 func (m *Machine) Bus() *bus.Bus { return m.bus }

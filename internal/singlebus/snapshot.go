@@ -1,0 +1,217 @@
+package singlebus
+
+import (
+	"multicube/internal/bus"
+	"multicube/internal/cache"
+	"multicube/internal/memory"
+	"multicube/internal/sim"
+)
+
+// This file computes canonical fingerprints of the baseline machine's
+// complete protocol state for the model checker's visited-state table,
+// mirroring internal/coherence/snapshot.go. Everything that can influence
+// future protocol behavior is hashed; statistics and absolute times are
+// excluded.
+//
+// Processor symmetry: on a single snooping bus every cache controller is
+// interchangeable (attach order is an arbitrary labeling), so the
+// fingerprint accepts a processor relabeling and the checker takes the
+// minimum over all of them. The memory module is unique and maps to
+// itself.
+
+type sbfnv uint64
+
+const sbfnvOffset sbfnv = 14695981039346656037
+const sbfnvPrime sbfnv = 1099511628211
+
+func (h *sbfnv) byte(b byte) { *h = (*h ^ sbfnv(b)) * sbfnvPrime }
+
+func (h *sbfnv) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+}
+
+func (h *sbfnv) bit(b bool) {
+	if b {
+		h.byte(1)
+	} else {
+		h.byte(0)
+	}
+}
+
+// opFP hashes one bus operation's protocol-visible fields under the
+// given processor relabeling. Occupancy (a pure function of the kind)
+// and the enqueue time are excluded; the probe-phase wires (inhibit,
+// confirmed) are included because they persist on a granted operation
+// until delivery.
+func (o *op) fp(perm []int) uint64 {
+	h := sbfnvOffset
+	h.byte(byte(o.kind))
+	h.u64(uint64(perm[o.origin]))
+	h.u64(uint64(o.line))
+	h.u64(uint64(o.offset))
+	h.u64(o.value)
+	h.bit(o.data != nil)
+	for _, w := range o.data {
+		h.u64(w)
+	}
+	h.bit(o.inhibit)
+	h.bit(o.confirmed)
+	h.bit(o.canceled)
+	return uint64(h)
+}
+
+// Fingerprint hashes the complete protocol-visible machine state under
+// the given processor relabeling: caches, pending processor requests,
+// memory contents, the bus queue and in-flight operation, and pending
+// kernel events. perm maps physical processor index to canonical index;
+// nil means identity. extraTag, when non-nil, is consulted for kernel
+// event tags this package does not recognize (the model-check driver's
+// own events).
+func (m *Machine) Fingerprint(perm []int, extraTag func(tag any) (uint64, bool)) uint64 {
+	n := len(m.procs)
+	if perm == nil {
+		perm = make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+	}
+	inv := make([]int, n)
+	for phys, canon := range perm {
+		inv[canon] = phys
+	}
+
+	h := sbfnvOffset
+
+	// Processors, in canonical order.
+	for cp := 0; cp < n; cp++ {
+		p := m.procs[inv[cp]]
+		h.byte(0x01)
+		p.cache.ForEach(func(e *cache.Entry) {
+			h.u64(uint64(e.Line))
+			h.byte(byte(e.State))
+			for _, w := range e.Data {
+				h.u64(w)
+			}
+		})
+		h.byte(0x02)
+		h.bit(p.pend != nil)
+		if r := p.pend; r != nil {
+			h.u64(uint64(r.line))
+			h.bit(r.write)
+			h.u64(uint64(r.offset))
+			h.u64(r.value)
+		}
+	}
+
+	// Memory.
+	h.byte(0x03)
+	m.mem.store.ForEach(func(line memory.Line, valid bool, data []uint64) {
+		h.u64(uint64(line))
+		h.bit(valid)
+		for _, w := range data {
+			h.u64(w)
+		}
+	})
+
+	// The bus: in-flight operation plus per-source queued subsequences in
+	// canonical source order (arbitration among sources is a choice the
+	// explorer branches on; per-source FIFO order is hardware).
+	permSrc := func(src int) int {
+		if src < n {
+			return perm[src]
+		}
+		return src // the memory module
+	}
+	h.byte(0x04)
+	h.bit(m.bus.Busy())
+	if p := m.bus.Inflight(); p != nil {
+		h.u64(p.(*op).fp(perm))
+	}
+	type group struct {
+		src int
+		ops []*op
+	}
+	var groups []group
+	idx := make(map[int]int)
+	m.bus.ForEachQueued(func(src int, pkt bus.Packet) {
+		cs := permSrc(src)
+		gi, ok := idx[cs]
+		if !ok {
+			gi = len(groups)
+			idx[cs] = gi
+			groups = append(groups, group{src: cs})
+		}
+		groups[gi].ops = append(groups[gi].ops, pkt.(*op))
+	})
+	for i := range groups {
+		min := i
+		for j := i + 1; j < len(groups); j++ {
+			if groups[j].src < groups[min].src {
+				min = j
+			}
+		}
+		groups[i], groups[min] = groups[min], groups[i]
+	}
+	for _, g := range groups {
+		h.u64(uint64(g.src))
+		h.u64(uint64(len(g.ops)))
+		for _, o := range g.ops {
+			h.u64(o.fp(perm))
+		}
+	}
+
+	// Pending kernel events, as a multiset.
+	var evs []uint64
+	m.k.ForEachPending(func(at sim.Time, tag any) {
+		var eh sbfnv = sbfnvOffset
+		switch t := tag.(type) {
+		case bus.GrantTag:
+			eh.byte(0x11)
+		case bus.DeliverTag:
+			eh.byte(0x12)
+			eh.u64(t.Pkt.(*op).fp(perm))
+		default:
+			if extraTag != nil {
+				if fp, ok := extraTag(tag); ok {
+					eh.byte(0x13)
+					eh.u64(fp)
+					break
+				}
+			}
+			eh.byte(0x1f)
+		}
+		evs = append(evs, uint64(eh))
+	})
+	for i := range evs {
+		min := i
+		for j := i + 1; j < len(evs); j++ {
+			if evs[j] < evs[min] {
+				min = j
+			}
+		}
+		evs[i], evs[min] = evs[min], evs[i]
+	}
+	h.byte(0x05)
+	for _, e := range evs {
+		h.u64(e)
+	}
+
+	return uint64(h)
+}
+
+// PacketFP fingerprints one bus operation under the identity relabeling,
+// for the model checker's transition identities at arbitration choice
+// points; ok is false for foreign packet types.
+func (m *Machine) PacketFP(pkt bus.Packet) (uint64, bool) {
+	o, isOp := pkt.(*op)
+	if !isOp {
+		return 0, false
+	}
+	perm := make([]int, len(m.procs))
+	for i := range perm {
+		perm[i] = i
+	}
+	return o.fp(perm), true
+}

@@ -46,7 +46,7 @@ func RunSingleBus(m *singlebus.Machine, cfg GenConfig) Report {
 					loop(remaining - 1)
 				}
 				if rng.Float64() < cfg.PWrite {
-					m.Processor(id).StoreAsync(addr, rng.Uint64(), finish)
+					m.Processor(id).StoreAsync(addr, rng.Uint64(), func(uint64) { finish() })
 				} else {
 					m.Processor(id).LoadAsync(addr, func(uint64) { finish() })
 				}
