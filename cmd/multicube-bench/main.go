@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"multicube/internal/experiments"
 	"multicube/internal/stats"
@@ -24,13 +25,48 @@ type renderable interface {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is the real main; routing the exit status through a return keeps
+// the deferred profile writers running on every path.
+func run() int {
 	experiment := flag.String("experiment", "all", "which experiment to run")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit JSON Lines (one object per table row; see README for the schema)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if *csv && *jsonOut {
 		fmt.Fprintln(os.Stderr, "multicube-bench: -csv and -json are mutually exclusive")
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "multicube-bench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "multicube-bench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "multicube-bench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "multicube-bench: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	runs := []struct {
@@ -72,7 +108,7 @@ func main() {
 				lines, err := t.JSONRows(r.name)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "multicube-bench: %s: %v\n", r.name, err)
-					os.Exit(1)
+					return 1
 				}
 				fmt.Print(lines)
 				continue
@@ -83,6 +119,7 @@ func main() {
 	if !found {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

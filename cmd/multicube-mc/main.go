@@ -8,7 +8,8 @@
 //
 //	multicube-mc -preset readmod-race [-budget 200000] [-depth-step 0]
 //	             [-workers 1] [-inject] [-no-por] [-no-sleep]
-//	             [-no-minimize] [-quiet]
+//	             [-no-minimize] [-quiet] [-json] [-checkfp]
+//	             [-cpuprofile f] [-memprofile f]
 //	multicube-mc -list
 //
 // On a violation the exit status is 1 and the minimized counterexample
@@ -19,15 +20,23 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"multicube/internal/mc"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is the real main; routing the exit status through a return keeps
+// the deferred profile writers running on every path.
+func run() int {
 	preset := flag.String("preset", "", "scenario to check (see -list)")
 	list := flag.Bool("list", false, "list the built-in presets and exit")
 	budget := flag.Int("budget", 0, "visited-state budget (default 200000)")
@@ -39,7 +48,38 @@ func main() {
 	noSleep := flag.Bool("no-sleep", false, "keep eager-firing but disable the sleep sets")
 	noMin := flag.Bool("no-minimize", false, "skip counterexample shrinking")
 	quiet := flag.Bool("quiet", false, "suppress the bus trace on violations")
+	checkFP := flag.Bool("checkfp", false, "cross-check the incremental fingerprint against a from-scratch recompute at every choice point (slow)")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout instead of text")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "multicube-mc: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "multicube-mc: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "multicube-mc: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "multicube-mc: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, name := range mc.Presets() {
@@ -54,16 +94,16 @@ func main() {
 			fmt.Printf("%-18s %d procs, %d ops on %s\n",
 				name, len(sc.Procs), sc.TotalOps(), where)
 		}
-		return
+		return 0
 	}
 	if *preset == "" {
 		fmt.Fprintln(os.Stderr, "multicube-mc: -preset required (try -list)")
-		os.Exit(2)
+		return 2
 	}
 	sc, err := mc.Preset(*preset)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "multicube-mc: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	sc.InjectStaleReply = *inject
 	opts := mc.Options{
@@ -74,15 +114,33 @@ func main() {
 		DisablePOR:   *noPOR,
 		DisableSleep: *noSleep,
 		NoMinimize:   *noMin,
+		CheckFP:      *checkFP,
 	}
 
 	start := time.Now()
 	res, err := mc.Explore(sc, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "multicube-mc: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	elapsed := time.Since(start).Round(time.Millisecond)
+
+	if *jsonOut {
+		out := struct {
+			mc.Result
+			ElapsedMS int64 `json:"elapsed_ms"`
+		}{Result: res, ElapsedMS: elapsed.Milliseconds()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "multicube-mc: %v\n", err)
+			return 2
+		}
+		if res.Violation != nil {
+			return 1
+		}
+		return 0
+	}
 
 	fmt.Printf("scenario  %s\n", res.Scenario)
 	fmt.Printf("states    %d distinct canonical states\n", res.States)
@@ -96,10 +154,11 @@ func main() {
 		fmt.Printf("coverage  partial (depth %d)\n", res.Depth)
 	}
 	fmt.Printf("elapsed   %v\n", elapsed)
+	fmt.Printf("fp        %d component recomputes, %d cache hits\n", res.FPRecomputes, res.FPIncremental)
 
 	if res.Violation == nil {
 		fmt.Printf("result    no violations\n")
-		return
+		return 0
 	}
 	v := res.Violation
 	fmt.Printf("result    %s VIOLATION: %s\n", v.Kind, v.Msg)
@@ -108,7 +167,7 @@ func main() {
 		rr, err := mc.Replay(sc, v.Choices, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "multicube-mc: replay: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("\nreplayed bus-operation trace (%d kernel steps):\n", rr.Steps)
 		if err := rr.Log.WriteText(os.Stdout); err != nil {
@@ -118,5 +177,5 @@ func main() {
 			fmt.Printf("\nreplay reproduces: %s\n", rr.Violation.Msg)
 		}
 	}
-	os.Exit(1)
+	return 1
 }

@@ -109,6 +109,17 @@ type Bus struct {
 	// inflight is the granted operation whose occupancy is running.
 	inflight Packet
 
+	// gen counts mutations of fingerprint-visible bus state (queues,
+	// busy/inflight). Incremental fingerprint caches compare it against a
+	// remembered value to skip rehashing an unchanged bus.
+	gen uint64
+
+	// scratch buffers reused by nextChosen, which runs once per grant
+	// under a model checker and must not allocate.
+	slotScratch []slot
+	candScratch []sim.Candidate
+	seenScratch []bool
+
 	stats Stats
 }
 
@@ -142,6 +153,11 @@ func (b *Bus) SetChooser(ch sim.Chooser, deferGrants bool) {
 	b.deferGrants = deferGrants
 }
 
+// Gen reports the mutation generation of the fingerprint-visible bus
+// state. It changes whenever the queues or the busy/inflight pair may
+// have changed.
+func (b *Bus) Gen() uint64 { return b.gen }
+
 // Busy reports whether an operation currently holds the bus.
 func (b *Bus) Busy() bool { return b.busy }
 
@@ -169,6 +185,7 @@ func (b *Bus) Request(src int, pkt Packet) {
 	if src < 0 || src >= len(b.agents) {
 		panic(fmt.Sprintf("bus %s: request from unknown agent %d", b.name, src))
 	}
+	b.gen++
 	p := pending{src: src, pkt: pkt, enqueued: b.k.Now()}
 	if b.arb == FIFO {
 		b.fifo = append(b.fifo, p)
@@ -239,22 +256,20 @@ func (b *Bus) next() (pending, bool) {
 // request of each waiting source, in policy order, so choice 0 is the
 // policy's own pick.
 func (b *Bus) nextChosen() pending {
-	type slot struct {
-		list *[]pending
-		idx  int
-	}
-	var slots []slot
-	var cands []sim.Candidate
+	slots := b.slotScratch[:0]
+	cands := b.candScratch[:0]
 	add := func(list *[]pending, idx int) {
-		p := (*list)[idx]
 		slots = append(slots, slot{list, idx})
-		cands = append(cands, sim.Candidate{
-			Label: fmt.Sprintf("%s grant src%d %v", b.name, p.src, p.pkt),
-			Tag:   p.pkt,
-		})
+		cands = append(cands, sim.Candidate{Tag: (*list)[idx].pkt})
 	}
 	if b.arb == FIFO {
-		seen := make(map[int]bool)
+		if len(b.seenScratch) < len(b.agents) {
+			b.seenScratch = make([]bool, len(b.agents))
+		}
+		seen := b.seenScratch
+		for i := range seen {
+			seen[i] = false
+		}
 		for i := range b.fifo {
 			if src := b.fifo[i].src; !seen[src] {
 				seen[src] = true
@@ -278,6 +293,8 @@ func (b *Bus) nextChosen() pending {
 		}
 	}
 	s := slots[idx]
+	b.slotScratch = slots
+	b.candScratch = cands
 	p := (*s.list)[s.idx]
 	*s.list = append((*s.list)[:s.idx], (*s.list)[s.idx+1:]...)
 	b.queued--
@@ -287,11 +304,18 @@ func (b *Bus) nextChosen() pending {
 	return p
 }
 
+// slot locates one arbitration candidate inside a queue.
+type slot struct {
+	list *[]pending
+	idx  int
+}
+
 func (b *Bus) grant() {
 	p, ok := b.next()
 	if !ok {
 		return
 	}
+	b.gen++
 	b.busy = true
 	b.inflight = p.pkt
 	b.stats.WaitTime += b.k.Now() - p.enqueued
@@ -308,6 +332,7 @@ func (b *Bus) grant() {
 		for _, a := range b.agents {
 			a.Snoop(b, p.pkt)
 		}
+		b.gen++
 		b.busy = false
 		b.inflight = nil
 		if b.deferGrants {

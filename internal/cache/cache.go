@@ -16,7 +16,6 @@ package cache
 
 import (
 	"fmt"
-	"sort"
 )
 
 // State is a per-line coherence state. The store interprets only Invalid
@@ -94,6 +93,18 @@ type Cache struct {
 	table map[Line]*Entry
 	clock uint64
 	stats Stats
+
+	// scratch buffers reused by ForEach, which fingerprinting and
+	// invariant checkers call on every model-checker step.
+	lineScratch []Line
+	refScratch  []entryRef
+}
+
+// entryRef pairs a resident line with its entry for ForEach's ordered
+// walk.
+type entryRef struct {
+	line Line
+	e    *Entry
 }
 
 // New returns an empty cache.
@@ -334,13 +345,24 @@ func (c *Cache) Len() int {
 // callers mutate state during the walk.
 func (c *Cache) ForEach(fn func(e *Entry)) {
 	if !c.bounded() {
-		lines := make([]Line, 0, len(c.table))
+		lines := c.lineScratch[:0]
 		for l, e := range c.table {
 			if e.State != Invalid {
 				lines = append(lines, l)
 			}
 		}
-		sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+		// Insertion sort: residency is small, and sort.Slice would box
+		// the slice and allocate on every call.
+		for i := 1; i < len(lines); i++ {
+			l := lines[i]
+			j := i
+			for j > 0 && lines[j-1] > l {
+				lines[j] = lines[j-1]
+				j--
+			}
+			lines[j] = l
+		}
+		c.lineScratch = lines
 		for _, l := range lines {
 			if e := c.table[l]; e != nil && e.State != Invalid {
 				fn(e)
@@ -348,20 +370,25 @@ func (c *Cache) ForEach(fn func(e *Entry)) {
 		}
 		return
 	}
-	type ref struct {
-		line Line
-		e    *Entry
-	}
-	var refs []ref
+	refs := c.refScratch[:0]
 	for s := range c.sets {
 		set := c.sets[s]
 		for i := range set {
 			if set[i].valid && set[i].State != Invalid {
-				refs = append(refs, ref{set[i].Line, &set[i]})
+				refs = append(refs, entryRef{set[i].Line, &set[i]})
 			}
 		}
 	}
-	sort.Slice(refs, func(i, j int) bool { return refs[i].line < refs[j].line })
+	for i := 1; i < len(refs); i++ {
+		r := refs[i]
+		j := i
+		for j > 0 && refs[j-1].line > r.line {
+			refs[j] = refs[j-1]
+			j--
+		}
+		refs[j] = r
+	}
+	c.refScratch = refs
 	for _, r := range refs {
 		fn(r.e)
 	}

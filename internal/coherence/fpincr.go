@@ -1,0 +1,535 @@
+package coherence
+
+import (
+	"sync/atomic"
+
+	"multicube/internal/bus"
+	"multicube/internal/cache"
+	"multicube/internal/memory"
+)
+
+// This file is the incremental companion of snapshot.go: FPCache computes
+// the same canonical-equivalence fingerprint as System.Fingerprint but in
+// O(changed components + n! × n² combine) per choice point instead of
+// O(n! × total machine state).
+//
+// The machine is hashed as independent components — one hash per node
+// (L2 + MLT + pending transaction), one per memory module, one snapshot
+// per bus — each cached behind a mutation generation counter (Node.gen,
+// Memory.gen, Bus.Gen) that the protocol entry points bump. A choice
+// point calls BeginPoint once to refresh only the dirty components, then
+// FP(perm, inv) once per row relabeling to combine the cached hashes in
+// permuted order.
+//
+// Component hashes are row-independent by construction: nothing inside a
+// node, memory module, or row-bus queue names a row index. The
+// row-coupled parts — operation Origin/Target rows, the snarf
+// eligibility matrix, column-bus source identities, event issuer rows —
+// are factored out of the cached hashes and folded in per permutation
+// during the combine.
+//
+// The hash VALUES differ from System.Fingerprint (word-level FNV-1a over
+// component hashes instead of one byte-level walk), but the induced
+// equivalence partition is identical: both encodings are injective on
+// exactly the same set of protocol-visible fields, and the explorer
+// depends only on fingerprint equality. mc's cross-check mode
+// (Options.CheckFP) and the equivalence tests in this package and in
+// internal/mc verify both properties.
+
+// evKind discriminates the pending-event records BeginPoint snapshots.
+type evKind uint8
+
+const (
+	evEnqueue evKind = iota
+	evGrant
+	evDeliver
+	evExtra
+	evOpaque
+)
+
+// evRec is one pending kernel event with its row-permutation-dependent
+// parts (issuer row, op, bus identity) kept symbolic.
+type evRec struct {
+	kind     evKind
+	row, col int
+	dim      uint8
+	busKind  uint64
+	busIdx   int
+	op       *Op
+	rest     uint64
+}
+
+// busQ is a snapshot of one bus's fingerprint-visible state, refreshed
+// when the bus's generation counter moves. Op pointers stay valid and
+// immutable in their hashed fields for the life of the run.
+type busQ struct {
+	gen      uint64
+	valid    bool
+	busy     bool
+	inflight *Op
+	perSrc   [][]*Op // queued ops grouped by physical attach index
+	nonEmpty int
+}
+
+// ExtraTagFunc lets the model-check driver describe its own kernel event
+// tags: row is the issuer's physical row (permuted during the combine)
+// and rest hashes the row-independent remainder.
+type ExtraTagFunc func(tag any) (row int, rest uint64, ok bool)
+
+// FPCache incrementally fingerprints one System. It is not safe for
+// concurrent use; each explorer worker owns one (pooled across runs).
+type FPCache struct {
+	sys   *System
+	n     int
+	snarf bool
+
+	nodeH   [][]uint64
+	nodeGen [][]uint64
+	memH    []uint64
+	memGen  []uint64
+	rowQ    []busQ
+	colQ    []busQ
+
+	evs []evRec
+	evH []uint64
+
+	// cp identifies the current choice point, keying the per-point snarf
+	// memo on ops. Drawn from a process-global sequence so memos written
+	// by one FPCache (e.g. the live one) are never mistaken for current
+	// by another (e.g. a cross-check's fresh cache) over the same ops.
+	cp uint64
+
+	recomputes uint64 // component hashes rebuilt because their gen moved
+	reused     uint64 // component hashes served from cache
+}
+
+// NewFPCache returns a cache bound to s with every component dirty.
+func NewFPCache(s *System) *FPCache {
+	f := &FPCache{}
+	f.Reset(s)
+	return f
+}
+
+// Reset rebinds the cache to s (possibly a fresh machine from a pooled
+// run) and marks every component dirty. Buffers are reused when the grid
+// size matches. Counters for Stats are zeroed; cp stays monotonic.
+func (f *FPCache) Reset(s *System) {
+	n := s.cfg.N
+	f.sys = s
+	f.snarf = s.cfg.Snarf
+	f.recomputes, f.reused = 0, 0
+	if f.n != n {
+		f.n = n
+		f.nodeH = make([][]uint64, n)
+		f.nodeGen = make([][]uint64, n)
+		for r := 0; r < n; r++ {
+			f.nodeH[r] = make([]uint64, n)
+			f.nodeGen[r] = make([]uint64, n)
+		}
+		f.memH = make([]uint64, n)
+		f.memGen = make([]uint64, n)
+		f.rowQ = make([]busQ, n)
+		f.colQ = make([]busQ, n)
+	}
+	const dirty = ^uint64(0)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			f.nodeGen[r][c] = dirty
+		}
+		f.memGen[r] = dirty
+		f.rowQ[r].valid = false
+		f.colQ[r].valid = false
+	}
+	f.evs = f.evs[:0]
+}
+
+// Stats reports how many component hashes were rebuilt vs served from
+// cache since the last Reset.
+func (f *FPCache) Stats() (recomputes, reused uint64) { return f.recomputes, f.reused }
+
+// BeginPoint refreshes every dirty component and snapshots the pending
+// event set; call it once per choice point, before FP. extra describes
+// driver-owned event tags (may be nil).
+// fpPointSeq issues process-globally unique choice-point identities; ops
+// memoize their snarf matrix against one.
+var fpPointSeq atomic.Uint64
+
+func (f *FPCache) BeginPoint(extra ExtraTagFunc) {
+	f.cp = fpPointSeq.Add(1)
+	s := f.sys
+	n := f.n
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			nd := s.nodes[r][c]
+			if nd.gen != f.nodeGen[r][c] {
+				f.nodeH[r][c] = nodeHash(nd)
+				f.nodeGen[r][c] = nd.gen
+				f.recomputes++
+			} else {
+				f.reused++
+			}
+		}
+	}
+	for c := 0; c < n; c++ {
+		m := s.mems[c]
+		if m.gen != f.memGen[c] {
+			f.memH[c] = memHash(m)
+			f.memGen[c] = m.gen
+			f.recomputes++
+		} else {
+			f.reused++
+		}
+	}
+	for r := 0; r < n; r++ {
+		f.refreshBus(&f.rowQ[r], s.rows[r])
+	}
+	for c := 0; c < n; c++ {
+		f.refreshBus(&f.colQ[c], s.cols[c])
+	}
+	f.snapshotEvents(extra)
+}
+
+func (f *FPCache) refreshBus(q *busQ, b *bus.Bus) {
+	if q.valid && q.gen == b.Gen() {
+		f.reused++
+		return
+	}
+	f.recomputes++
+	q.valid = true
+	q.gen = b.Gen()
+	q.busy = b.Busy()
+	q.inflight = nil
+	if p := b.Inflight(); p != nil {
+		q.inflight = p.(*Op)
+	}
+	if len(q.perSrc) < b.Agents() {
+		q.perSrc = make([][]*Op, b.Agents())
+	}
+	for i := range q.perSrc {
+		q.perSrc[i] = q.perSrc[i][:0]
+	}
+	q.nonEmpty = 0
+	b.ForEachQueued(func(src int, pkt bus.Packet) {
+		if len(q.perSrc[src]) == 0 {
+			q.nonEmpty++
+		}
+		q.perSrc[src] = append(q.perSrc[src], pkt.(*Op))
+	})
+}
+
+func (f *FPCache) snapshotEvents(extra ExtraTagFunc) {
+	f.evs = f.evs[:0]
+	f.sys.k.ForEachPendingTag(func(tag any) {
+		var e evRec
+		switch t := tag.(type) {
+		case EnqueueTag:
+			e.kind = evEnqueue
+			e.row, e.col = t.Issuer.Row, t.Issuer.Col
+			e.dim = uint8(t.Dim)
+			e.busKind, e.busIdx = f.busRef(t.bus)
+			e.op = t.Op
+		case bus.GrantTag:
+			e.kind = evGrant
+			e.busKind, e.busIdx = f.busRef(t.B)
+		case bus.DeliverTag:
+			e.kind = evDeliver
+			e.busKind, e.busIdx = f.busRef(t.B)
+			e.op = t.Pkt.(*Op)
+		default:
+			e.kind = evOpaque
+			if extra != nil {
+				if row, rest, ok := extra(tag); ok {
+					e.kind = evExtra
+					e.row, e.rest = row, rest
+				}
+			}
+		}
+		f.evs = append(f.evs, e)
+	})
+}
+
+// busRef resolves a bus to (kind, physical index) mirroring
+// Fingerprint's busID: rows are kind 0 (index permuted at combine time),
+// columns kind 1, anything else kind 2.
+func (f *FPCache) busRef(b *bus.Bus) (uint64, int) {
+	s := f.sys
+	for r := 0; r < f.n; r++ {
+		if s.rows[r] == b {
+			return 0, r
+		}
+	}
+	for c := 0; c < f.n; c++ {
+		if s.cols[c] == b {
+			return 1, c
+		}
+	}
+	return 2, 0
+}
+
+// FP combines the cached component hashes under the row relabeling perm
+// (inv its inverse, both caller-owned and len n). BeginPoint must have
+// run at this choice point. The encoding is prefix-decodable given the
+// machine configuration — fixed-position component words, count-prefixed
+// variable sections — so it is injective on the same abstract content as
+// System.Fingerprint.
+func (f *FPCache) FP(perm, inv []int) uint64 {
+	n := f.n
+	h := fnvOffset
+	for cr := 0; cr < n; cr++ {
+		r := inv[cr]
+		for c := 0; c < n; c++ {
+			h.u64(f.nodeH[r][c])
+		}
+	}
+	for c := 0; c < n; c++ {
+		h.u64(f.memH[c])
+	}
+	for cr := 0; cr < n; cr++ {
+		f.busFP(&h, &f.rowQ[inv[cr]], false, perm, inv)
+	}
+	for c := 0; c < n; c++ {
+		f.busFP(&h, &f.colQ[c], true, perm, inv)
+	}
+	if cap(f.evH) < len(f.evs) {
+		f.evH = make([]uint64, 0, len(f.evs)*2)
+	}
+	evH := f.evH[:0]
+	for i := range f.evs {
+		v := f.evHash(&f.evs[i], perm, inv)
+		// Insertion sort on the way in: the event multiset must hash
+		// order-insensitively (heap order varies across replays of the
+		// same abstract state).
+		j := len(evH)
+		evH = append(evH, v)
+		for j > 0 && evH[j-1] > v {
+			evH[j] = evH[j-1]
+			j--
+		}
+		evH[j] = v
+	}
+	f.evH = evH
+	h.u64(uint64(len(evH)))
+	for _, v := range evH {
+		h.u64(v)
+	}
+	return uint64(h)
+}
+
+func (f *FPCache) busFP(h *fnv, q *busQ, colBus bool, perm, inv []int) {
+	h.bit(q.busy)
+	h.bit(q.inflight != nil)
+	if q.inflight != nil {
+		h.u64(f.opPermFP(q.inflight, perm, inv))
+	}
+	h.u64(uint64(q.nonEmpty))
+	emit := func(canonSrc int, ops []*Op) {
+		if len(ops) == 0 {
+			return
+		}
+		h.u64(uint64(int64(canonSrc)))
+		h.u64(uint64(len(ops)))
+		for _, op := range ops {
+			h.u64(f.opPermFP(op, perm, inv))
+		}
+	}
+	if !colBus {
+		// Row-bus sources are column indices: canonical order is
+		// physical order.
+		for src := range q.perSrc {
+			emit(src, q.perSrc[src])
+		}
+		return
+	}
+	// Column-bus sources are row indices (attach index r holds node
+	// (r, c)), visited in canonical row order; the memory module attaches
+	// last, at index n, and maps to itself.
+	for cr := 0; cr < f.n; cr++ {
+		if src := inv[cr]; src < len(q.perSrc) {
+			emit(cr, q.perSrc[src])
+		}
+	}
+	if len(q.perSrc) > f.n {
+		emit(f.n, q.perSrc[f.n])
+	}
+}
+
+func (f *FPCache) evHash(e *evRec, perm, inv []int) uint64 {
+	h := fnvOffset
+	switch e.kind {
+	case evEnqueue:
+		h.u64(0x10)
+		h.u64(permRowWord(perm, e.row))
+		h.u64(uint64(int64(e.col)))
+		h.u64(uint64(e.dim))
+		h.u64(e.busKind)
+		h.u64(f.busCanon(e.busKind, e.busIdx, perm))
+		h.u64(f.opPermFP(e.op, perm, inv))
+	case evGrant:
+		h.u64(0x11)
+		h.u64(e.busKind)
+		h.u64(f.busCanon(e.busKind, e.busIdx, perm))
+	case evDeliver:
+		h.u64(0x12)
+		h.u64(e.busKind)
+		h.u64(f.busCanon(e.busKind, e.busIdx, perm))
+		h.u64(f.opPermFP(e.op, perm, inv))
+	case evExtra:
+		h.u64(0x13)
+		h.u64(permRowWord(perm, e.row))
+		h.u64(e.rest)
+	default:
+		h.u64(0x1f)
+	}
+	return uint64(h)
+}
+
+func (f *FPCache) busCanon(kind uint64, idx int, perm []int) uint64 {
+	switch kind {
+	case 0:
+		return uint64(perm[idx])
+	case 1:
+		return uint64(idx)
+	}
+	return 0
+}
+
+func permRowWord(perm []int, r int) uint64 {
+	if r < 0 {
+		return uint64(int64(r))
+	}
+	return uint64(perm[r])
+}
+
+// opPermFP hashes one bus operation under perm: the memoized
+// row-independent base plus the permuted Origin/Target rows and, when
+// snarfing is live, the permuted snarf eligibility matrix.
+func (f *FPCache) opPermFP(op *Op, perm, inv []int) uint64 {
+	if !op.fpBaseOK {
+		op.fpBase = opBaseFP(op)
+		op.fpBaseOK = true
+	}
+	h := fnvOffset
+	h.u64(op.fpBase)
+	h.u64(permRowWord(perm, op.Origin.Row))
+	if op.Flags&XFER != 0 {
+		h.u64(permRowWord(perm, op.Target.Row))
+	}
+	if f.snarf && op.Txn == READ && op.Data != nil {
+		h.u64(f.snarfWord(op, inv))
+	}
+	return uint64(h)
+}
+
+// opBaseFP hashes the row-independent fields of an op. Every hashed
+// field is immutable once the op is fingerprint-visible (snapshot.go
+// hashes the same set), so callers memoize the result on the op.
+func opBaseFP(op *Op) uint64 {
+	h := fnvOffset
+	h.byte(byte(op.Txn))
+	h.u64(uint64(op.Flags))
+	h.u64(uint64(op.Line))
+	h.u64(uint64(int64(op.Origin.Col)))
+	if op.Flags&XFER != 0 {
+		h.u64(uint64(int64(op.Target.Col)))
+	}
+	h.bit(op.Data != nil)
+	h.u64(uint64(len(op.Data)))
+	for _, w := range op.Data {
+		h.u64(w)
+	}
+	return uint64(h)
+}
+
+// snarfWord folds the born-vs-purgedAt eligibility relation (one bit per
+// node, in canonical node order) into a single word. The physical bit
+// matrix is memoized on the op per choice point; each permutation only
+// reorders the packed rows. Grids wider than 8 overflow the packing and
+// hash the bits directly.
+func (f *FPCache) snarfWord(op *Op, inv []int) uint64 {
+	n := f.n
+	if n > 8 {
+		h := fnvOffset
+		for cr := 0; cr < n; cr++ {
+			for c := 0; c < n; c++ {
+				t, ok := f.sys.nodes[inv[cr]][c].purgedAt[op.Line]
+				h.bit(ok && op.born <= t)
+			}
+		}
+		return uint64(h)
+	}
+	if op.fpSnarfCP != f.cp {
+		var bits uint64
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				if t, ok := f.sys.nodes[r][c].purgedAt[op.Line]; ok && op.born <= t {
+					bits |= 1 << uint(r*n+c)
+				}
+			}
+		}
+		op.fpSnarfBits = bits
+		op.fpSnarfCP = f.cp
+	}
+	mask := uint64(1)<<uint(n) - 1
+	var out uint64
+	for cr := 0; cr < n; cr++ {
+		out |= ((op.fpSnarfBits >> uint(inv[cr]*n)) & mask) << uint(cr*n)
+	}
+	return out
+}
+
+// nodeHash hashes one node's L2, MLT, pending transaction, and
+// write-back continuation — the same fields snapshot.go walks, none of
+// which name a row index.
+func nodeHash(nd *Node) uint64 {
+	h := fnvOffset
+	h.u64(0x01)
+	sub := fnvOffset
+	count := 0
+	nd.l2.ForEach(func(e *cache.Entry) {
+		count++
+		sub.u64(uint64(e.Line))
+		sub.byte(byte(e.State))
+		sub.bit(e.Pinned)
+		for _, w := range e.Data {
+			sub.u64(w)
+		}
+	})
+	h.u64(uint64(count))
+	h.u64(uint64(sub))
+	h.u64(0x02)
+	lines := nd.table.Lines()
+	h.u64(uint64(len(lines)))
+	for _, l := range lines {
+		h.u64(uint64(l))
+	}
+	h.u64(0x03)
+	h.bit(nd.pend != nil)
+	if p := nd.pend; p != nil {
+		h.byte(byte(p.txn))
+		h.u64(uint64(p.flags))
+		h.u64(uint64(p.line))
+		h.bit(p.poisoned)
+		h.bit(p.queued)
+	}
+	h.bit(nd.wbCont != nil)
+	return uint64(h)
+}
+
+// memHash hashes one memory module's contents and valid bits.
+func memHash(m *Memory) uint64 {
+	h := fnvOffset
+	h.u64(0x04)
+	sub := fnvOffset
+	count := 0
+	m.store.ForEach(func(line memory.Line, valid bool, data []uint64) {
+		count++
+		sub.u64(uint64(line))
+		sub.bit(valid)
+		for _, w := range data {
+			sub.u64(w)
+		}
+	})
+	h.u64(uint64(count))
+	h.u64(uint64(sub))
+	return uint64(h)
+}

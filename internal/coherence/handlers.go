@@ -61,6 +61,7 @@ func (n *Node) probeCol(op *Op) {
 // snoopRow dispatches a row bus operation. On a bus operation, all nodes
 // on the bus, including the originator, execute the appropriate procedure.
 func (n *Node) snoopRow(op *Op) {
+	n.gen++
 	switch {
 	case op.Flags.Has(REQUEST):
 		n.rowRequest(op)
@@ -79,6 +80,7 @@ func (n *Node) snoopRow(op *Op) {
 
 // snoopCol dispatches a column bus operation.
 func (n *Node) snoopCol(op *Op) {
+	n.gen++
 	switch {
 	case op.Flags.Has(REQUEST | REMOVE):
 		n.colRequestRemove(op)

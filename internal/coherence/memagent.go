@@ -18,6 +18,10 @@ type Memory struct {
 	col    int
 	store  *memory.Store
 	busIdx int
+
+	// gen counts mutations of fingerprint-visible memory state; every
+	// store mutation happens inside snoop, which bumps it.
+	gen uint64
 }
 
 // Store exposes the underlying storage for seeding and invariant checks.
@@ -42,6 +46,7 @@ func (m *Memory) issueAfter(d sim.Time, op *Op) {
 }
 
 func (m *Memory) snoop(op *Op) {
+	m.gen++
 	switch {
 	case op.Flags.Has(REQUEST | MEMORY):
 		m.handleRequest(op)

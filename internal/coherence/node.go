@@ -79,6 +79,13 @@ type Node struct {
 	// snarf optimization against stale in-flight replies.
 	purgedAt map[cache.Line]sim.Time
 
+	// gen counts mutations of fingerprint-visible node state (L2, MLT,
+	// pending transaction, wbCont). It is bumped conservatively at every
+	// entry point that can mutate the node — processor-side APIs and the
+	// two snoop dispatchers — which over-approximates actual change;
+	// FPCache compares it to skip rehashing unchanged nodes.
+	gen uint64
+
 	stats NodeStats
 }
 
@@ -104,6 +111,10 @@ func (n *Node) ID() topology.Coord { return n.id }
 // Cache exposes the snooping cache, primarily for the machine layer's
 // word-level access and for invariant checks.
 func (n *Node) Cache() *cache.Cache { return n.l2 }
+
+// Gen reports the node's fingerprint-visible mutation counter (see the
+// gen field). Checkers use it to skip re-scanning unchanged nodes.
+func (n *Node) Gen() uint64 { return n.gen }
 
 // Table exposes the modified line table for invariant checks.
 func (n *Node) Table() *mlt.Table { return n.table }
@@ -175,6 +186,7 @@ func (n *Node) issueColAfter(d sim.Time, op *Op) {
 // (possibly synchronously, on a hit) when the line is readable in the
 // snooping cache.
 func (n *Node) Read(line cache.Line, done func(Result)) {
+	n.gen++
 	n.stats.Reads++
 	if _, ok := n.l2.Access(line); ok {
 		n.stats.ReadHits++
@@ -188,6 +200,7 @@ func (n *Node) Read(line cache.Line, done func(Result)) {
 // modified mode. The caller applies the actual word write through
 // CacheEntry once done fires.
 func (n *Node) Write(line cache.Line, done func(Result)) {
+	n.gen++
 	n.stats.Writes++
 	if e, ok := n.l2.Access(line); ok {
 		switch e.State {
@@ -212,6 +225,7 @@ func (n *Node) Write(line cache.Line, done func(Result)) {
 // reply is an acknowledgement rather than data. On completion the line is
 // resident in modified mode, zero-filled.
 func (n *Node) Allocate(line cache.Line, done func(Result)) {
+	n.gen++
 	n.stats.Writes++
 	if e, ok := n.l2.Access(line); ok && e.State == Modified {
 		n.stats.WriteHits++
@@ -230,6 +244,7 @@ func (n *Node) Allocate(line cache.Line, done func(Result)) {
 // the line's LockWord. Result.Acquired reports success. Local copies are
 // exploited to avoid bus operations where the protocol allows.
 func (n *Node) TestAndSet(line cache.Line, done func(Result)) {
+	n.gen++
 	if e, ok := n.l2.Lookup(line); ok {
 		switch e.State {
 		case Modified:
@@ -266,6 +281,7 @@ func (n *Node) TestAndSet(line cache.Line, done func(Result)) {
 // unmodified, remaining cached shared. done fires when the processor
 // request may continue. A line not held modified completes immediately.
 func (n *Node) WriteBack(line cache.Line, done func(Result)) {
+	n.gen++
 	e, ok := n.l2.Lookup(line)
 	if !ok || e.State != Modified {
 		done(Result{})

@@ -186,6 +186,20 @@ type Op struct {
 	// snooping controller can refuse to snarf data older than its last
 	// invalidation of the line.
 	born sim.Time
+
+	// fpIdent memoizes the transition-identity hash (opIdentFP) and
+	// fpBase the row-independent part of the operation's fingerprint
+	// hash (FPCache). Every fingerprint-visible field above is immutable
+	// once the op becomes visible to a fingerprint (the probe wires are
+	// rebuilt per delivery and are not hashed), so the memos never go
+	// stale. fpSnarfCP/fpSnarfBits memoize the snarf eligibility bit
+	// matrix for a single choice point.
+	fpIdent     uint64
+	fpIdentOK   bool
+	fpBase      uint64
+	fpBaseOK    bool
+	fpSnarfCP   uint64
+	fpSnarfBits uint64
 }
 
 // Occupancy implements bus.Packet.

@@ -64,12 +64,18 @@ func (h *fnv) bit(b bool) {
 func (s *System) Fingerprint(perm []int, extraTag func(tag any) (uint64, bool)) uint64 {
 	n := s.cfg.N
 	if perm == nil {
-		perm = make([]int, n)
-		for i := range perm {
-			perm[i] = i
+		if len(s.fpIdent) != n {
+			s.fpIdent = make([]int, n)
+			for i := range s.fpIdent {
+				s.fpIdent[i] = i
+			}
 		}
+		perm = s.fpIdent
 	}
-	inv := make([]int, n)
+	if len(s.fpInv) != n {
+		s.fpInv = make([]int, n)
+	}
+	inv := s.fpInv
 	for phys, canon := range perm {
 		inv[canon] = phys
 	}
@@ -356,6 +362,9 @@ func (s *System) busIndex(b *bus.Bus) int {
 // canonicalization — sleep sets compare transitions along one replayed
 // path, where physical coordinates are stable).
 func opIdentFP(op *Op) uint64 {
+	if op.fpIdentOK {
+		return op.fpIdent
+	}
 	h := fnvOffset
 	h.byte(byte(op.Txn))
 	h.u64(uint64(op.Flags))
@@ -368,6 +377,7 @@ func opIdentFP(op *Op) uint64 {
 	for _, w := range op.Data {
 		h.u64(w)
 	}
+	op.fpIdent, op.fpIdentOK = uint64(h), true
 	return uint64(h)
 }
 

@@ -212,6 +212,7 @@ func (n *Node) consumeXfer(op *Op) {
 // line arrives (immediately, or via a handoff after queueing), or with
 // MustSpin when the caller should fall back to spinning test-and-set.
 func (n *Node) SyncAcquire(line cache.Line, done func(Result)) {
+	n.gen++
 	if e, ok := n.l2.Lookup(line); ok {
 		switch e.State {
 		case Modified:
@@ -259,6 +260,7 @@ func (n *Node) SyncAcquire(line cache.Line, done func(Result)) {
 // (the scheme degenerated); the caller must then release in software with
 // an ordinary write.
 func (n *Node) SyncRelease(line cache.Line) bool {
+	n.gen++
 	e, ok := n.l2.Lookup(line)
 	if !ok || e.State != Modified {
 		return false

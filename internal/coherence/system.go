@@ -195,6 +195,11 @@ type System struct {
 	DisableStaleReplyPoisoning bool
 
 	dropped uint64
+
+	// fpIdent/fpInv are reusable Fingerprint scratch: the cached identity
+	// permutation and the inverse-permutation buffer. A System is bound
+	// to one kernel and is not fingerprinted concurrently.
+	fpIdent, fpInv []int
 }
 
 // EnqueueTag tags a device-latency kernel event whose only effect, when

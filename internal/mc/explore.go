@@ -66,11 +66,21 @@ type Options struct {
 	DisableSleep bool
 	// NoMinimize skips counterexample shrinking.
 	NoMinimize bool
+	// CheckFP enables the incremental-fingerprint debug cross-check: at
+	// every choice point the canonical fingerprint is recomputed from
+	// scratch with a fresh cache and compared against the incremental
+	// value, panicking on any divergence (the -checkfp flag). Slow;
+	// intended for tests and debugging the fingerprint fast path.
+	CheckFP bool
 
 	// legacyAmple swaps the persistent-set rule for PR 1's conservative
 	// ample rule and disables sleep sets, so tests can compare the two
 	// reductions' state counts on identical scenarios.
 	legacyAmple bool
+	// legacyFP swaps the incremental component-hashed fingerprint for the
+	// original full-walk Fingerprint, so tests can assert the two induce
+	// the same state partition (identical States counts and verdicts).
+	legacyFP bool
 }
 
 func (o *Options) fillDefaults() {
@@ -106,7 +116,14 @@ type Result struct {
 	Exhausted bool
 	// BudgetHit reports the MaxStates budget stopped exploration.
 	BudgetHit bool
-	Violation *Violation
+	// FPRecomputes and FPIncremental count component-hash rebuilds vs
+	// cache hits in the incremental fingerprint path, summed over every
+	// execution of the search whose result this is (minimization replays
+	// and a parallel pass's sequential re-derivation keep their own
+	// explorers and are not included). Zero under legacyFP.
+	FPRecomputes  uint64
+	FPIncremental uint64
+	Violation     *Violation
 }
 
 // checker is one from-scratch execution of a scenario on some machine —
@@ -124,13 +141,18 @@ type checker interface {
 	// grantClass describes one bus-arbitration candidate (the packet
 	// that would be granted) on the named bus.
 	grantClass(busName string, tag any) tagClass
+	// fpStats reports this execution's incremental-fingerprint counters
+	// (component recomputes, cache hits).
+	fpStats() (recomputes, incremental uint64)
+	// release returns pooled fingerprint state to sh for the next run.
+	release()
 }
 
-func newChecker(sc *Scenario) checker {
+func newChecker(sc *Scenario, sh *shared) checker {
 	if sc.SingleBus {
-		return newSBInstance(sc)
+		return newSBInstance(sc, sh)
 	}
-	return newInstance(sc)
+	return newInstance(sc, sh)
 }
 
 // take records one resolved choice point. Beyond the prefix, under the
@@ -191,6 +213,10 @@ type mcChooser struct {
 	taken    []take
 	limitHit bool
 	blocked  bool
+
+	// clsScratch backs classesOf between choice points; retained class
+	// slices (take.cands) are copied out of it.
+	clsScratch []tagClass
 }
 
 func newMCChooser(ck checker, n int, it workItem, depth int, opts *Options) *mcChooser {
@@ -209,6 +235,7 @@ func newMCChooser(ck checker, n int, it workItem, depth int, opts *Options) *mcC
 		c.active = true
 		c.sleep = c.initSleep
 	}
+	c.taken = make([]take, 0, len(c.prefix)+64)
 	return c
 }
 
@@ -232,7 +259,10 @@ func (c *mcChooser) Choose(cp sim.ChoicePoint, cands []sim.Candidate) int {
 	var classes []tagClass
 	classesOf := func() []tagClass {
 		if classes == nil {
-			classes = make([]tagClass, len(cands))
+			if cap(c.clsScratch) < len(cands) {
+				c.clsScratch = make([]tagClass, len(cands))
+			}
+			classes = c.clsScratch[:len(cands)]
 			for i := range cands {
 				if isSched {
 					classes[i] = c.classify(cands[i].Tag)
@@ -281,7 +311,7 @@ func (c *mcChooser) Choose(cp sim.ChoicePoint, cands []sim.Candidate) int {
 	}
 	tk := take{pick: pick, n: len(cands)}
 	if !scripted && c.sleepOn {
-		tk.cands = classesOf()
+		tk.cands = append([]tagClass(nil), classesOf()...)
 		tk.sleepAt = c.sleep
 	}
 	c.taken = append(c.taken, tk)
@@ -420,13 +450,16 @@ func (v *visitedSet) states() int { return int(v.count.Load()) }
 type explorer struct {
 	sc      *Scenario
 	opts    Options
+	sh      *shared
 	n       int
 	visited *visitedSet
 	budget  atomic.Bool
+	fpRec   atomic.Uint64
+	fpInc   atomic.Uint64
 }
 
 func newExplorer(sc *Scenario, opts Options) *explorer {
-	return &explorer{sc: sc, opts: opts, n: sc.N, visited: newVisitedSet()}
+	return &explorer{sc: sc, opts: opts, sh: newShared(sc, &opts), n: sc.N, visited: newVisitedSet()}
 }
 
 type runOut struct {
@@ -445,7 +478,7 @@ type runOut struct {
 // states were recorded by the run that spawned this branch, and
 // truncating the replay would orphan it).
 func (e *explorer) run(it workItem, depth int, track bool) runOut {
-	ck := newChecker(e.sc)
+	ck := newChecker(e.sc, e.sh)
 	ch := newMCChooser(ck, e.n, it, depth, &e.opts)
 	return e.execute(ck, ch, len(it.prefix), track)
 }
@@ -491,6 +524,10 @@ func (e *explorer) execute(ck checker, ch *mcChooser, prefixLen int, track bool)
 	if out.violation != nil {
 		out.violation.Choices = picksOf(ch.taken)
 	}
+	rec, inc := ck.fpStats()
+	e.fpRec.Add(rec)
+	e.fpInc.Add(inc)
+	ck.release()
 	return out
 }
 
@@ -669,7 +706,7 @@ func Explore(sc Scenario, opts Options) (Result, error) {
 }
 
 func exploreBounded(sc *Scenario, opts Options) Result {
-	e := &explorer{sc: sc, opts: opts, n: sc.N}
+	e := &explorer{sc: sc, opts: opts, sh: newShared(sc, &opts), n: sc.N}
 	res := Result{Scenario: sc.Name}
 
 	depth := opts.MaxDepth // 0 = unlimited: a single full-depth pass
@@ -690,6 +727,8 @@ func exploreBounded(sc *Scenario, opts Options) Result {
 		res.States = e.visited.states()
 		res.Depth = depth
 		res.BudgetHit = e.budget.Load()
+		res.FPRecomputes = e.fpRec.Load()
+		res.FPIncremental = e.fpInc.Load()
 		if p.violation != nil {
 			v := p.violation
 			if opts.Workers <= 1 && !opts.NoMinimize {
@@ -724,7 +763,7 @@ func exploreBounded(sc *Scenario, opts Options) Result {
 // replayRun re-executes a bare choice prefix with defaults beyond it and
 // no sleep sets — the semantics Violation.Choices is defined against.
 func (e *explorer) replayRun(prefix []int) runOut {
-	ck := newChecker(e.sc)
+	ck := newChecker(e.sc, e.sh)
 	ch := replayChooser(ck, e.n, prefix, &e.opts)
 	return e.execute(ck, ch, len(prefix), false)
 }

@@ -1,0 +1,166 @@
+package mc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fpEquivOpts bounds the equivalence explorations: big enough to cover
+// the interesting presets exhaustively, small enough to keep the A/B
+// matrix fast.
+func fpEquivOpts() Options {
+	return Options{MaxStates: 60000, NoMinimize: true}
+}
+
+// TestFPCrossCheckPresets runs every curated preset with the debug
+// cross-check enabled: at every choice point the incremental canonical
+// fingerprint is recomputed from scratch and any divergence panics.
+func TestFPCrossCheckPresets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-check matrix is slow")
+	}
+	for _, name := range Presets() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			sc, err := Preset(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := fpEquivOpts()
+			opts.CheckFP = true
+			opts.MaxStates = 8000
+			if _, err := Explore(sc, opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFPCrossCheckSwarm cross-checks the incremental fingerprint on
+// seeded random scenarios for both machines (instance and sbInstance),
+// including injected-bug runs where violations are in play.
+func TestFPCrossCheckSwarm(t *testing.T) {
+	cases := 12
+	if testing.Short() {
+		cases = 4
+	}
+	for i := 0; i < cases; i++ {
+		seed := int64(17000 + i)
+		for _, singleBus := range []bool{false, true} {
+			sc := swarmScenario(seed, singleBus)
+			sc.Name = fmt.Sprintf("%s-checkfp", sc.Name)
+			opts := fpEquivOpts()
+			opts.CheckFP = true
+			opts.MaxStates = 6000
+			if _, err := Explore(sc, opts); err != nil {
+				t.Fatalf("seed %d singleBus %v: %v", seed, singleBus, err)
+			}
+		}
+	}
+}
+
+// TestFPIncrementalMatchesLegacyPartition asserts the incremental
+// component-hashed fingerprint induces exactly the same state partition
+// as the original full-walk fingerprint: the hash values differ, but
+// States, Runs, verdicts, and minimized counterexamples must be
+// identical, because the search depends only on fingerprint equality.
+func TestFPIncrementalMatchesLegacyPartition(t *testing.T) {
+	type tc struct {
+		name string
+		sc   Scenario
+	}
+	var cases []tc
+	for _, name := range []string{"read-race", "readmod-race", "sb-writeonce-race", "sb-victim-race"} {
+		sc, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, tc{name, sc})
+	}
+	// Injected-bug variant: both paths must find the same minimized
+	// counterexample.
+	inj, err := Preset("readmod-race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.InjectStaleReply = true
+	cases = append(cases, tc{"readmod-race-inject", inj})
+	// Snarf variant exercises the row-coupled purgedAt matrix, the one
+	// fingerprint component that cannot be factored per row.
+	snarf, err := Preset("read-race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snarf.Name = "read-race-snarf"
+	snarf.Snarf = true
+	cases = append(cases, tc{"read-race-snarf", snarf})
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+	for i := 0; i < seeds; i++ {
+		for _, singleBus := range []bool{false, true} {
+			sc := swarmScenario(int64(18000+i), singleBus)
+			cases = append(cases, tc{sc.Name + fmt.Sprintf("-sb%v", singleBus), sc})
+		}
+	}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			incOpts := fpEquivOpts()
+			legOpts := fpEquivOpts()
+			legOpts.legacyFP = true
+			incOpts.NoMinimize, legOpts.NoMinimize = false, false
+			inc, err := Explore(c.sc, incOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leg, err := Explore(c.sc, legOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inc.States != leg.States || inc.Runs != leg.Runs || inc.Exhausted != leg.Exhausted {
+				t.Fatalf("partition mismatch: incremental states=%d runs=%d exhausted=%v, legacy states=%d runs=%d exhausted=%v",
+					inc.States, inc.Runs, inc.Exhausted, leg.States, leg.Runs, leg.Exhausted)
+			}
+			switch {
+			case (inc.Violation == nil) != (leg.Violation == nil):
+				t.Fatalf("verdict mismatch: incremental %v, legacy %v", inc.Violation, leg.Violation)
+			case inc.Violation != nil:
+				if inc.Violation.Kind != leg.Violation.Kind || inc.Violation.Msg != leg.Violation.Msg {
+					t.Fatalf("violation mismatch:\nincremental %v\nlegacy      %v", inc.Violation, leg.Violation)
+				}
+				if fmt.Sprint(inc.Violation.Choices) != fmt.Sprint(leg.Violation.Choices) {
+					t.Fatalf("counterexample mismatch: incremental %v, legacy %v",
+						inc.Violation.Choices, leg.Violation.Choices)
+				}
+			}
+			if leg.FPRecomputes != 0 || leg.FPIncremental != 0 {
+				t.Fatalf("legacy path reported incremental counters: %d/%d", leg.FPRecomputes, leg.FPIncremental)
+			}
+			if inc.States > 0 && inc.FPRecomputes == 0 {
+				t.Fatalf("incremental path reported no component recomputes over %d states", inc.States)
+			}
+		})
+	}
+}
+
+// FuzzFPEquivalence drives the cross-check from fuzzed seeds: each case
+// derives a random scenario per machine and explores it with the
+// from-scratch comparison armed at every choice point.
+func FuzzFPEquivalence(f *testing.F) {
+	for _, seed := range []int64{1, 9000, 17003, 424242} {
+		f.Add(seed, false)
+		f.Add(seed, true)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, singleBus bool) {
+		sc := swarmScenario(seed, singleBus)
+		opts := Options{MaxStates: 1500, NoMinimize: true, CheckFP: true}
+		if _, err := Explore(sc, opts); err != nil {
+			t.Fatalf("seed %d singleBus %v: %v", seed, singleBus, err)
+		}
+	})
+}

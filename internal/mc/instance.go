@@ -24,21 +24,36 @@ func (t stepTag) String() string { return fmt.Sprintf("proc%d step %d", t.proc, 
 // and machine, the per-processor program counters, and the witness.
 type instance struct {
 	sc  *Scenario
+	sh  *shared
 	k   *sim.Kernel
 	sys *coherence.System
 
-	pc        []int // next op index per processor
-	completed int   // ops completed across all processors
-	held      []map[uint64]bool
+	pc        []int      // next op index per processor
+	completed int        // ops completed across all processors
+	held      [][]uint64 // sorted held lock lines per processor
 	wit       *witness
-	perms     [][]int
+
+	// Incremental fingerprint state: the pooled machine-component cache,
+	// plus per-processor driver hashes behind dirty flags.
+	fpc      *coherence.FPCache
+	drvH     []uint64
+	drvDirty []bool
+	drvRec   uint64
+	drvInc   uint64
+
+	// modLines caches each node's Modified-state cache lines behind its
+	// mutation counter, so the per-step duplicate-modified scan skips
+	// nodes untouched since the last check.
+	modLines [][]cache.Line
+	modGen   []uint64
+	modSeen  []cache.Line
 
 	// failure is a driver-level protocol failure (e.g. a write that
 	// completed without the line present), reported as a violation.
 	failure string
 }
 
-func newInstance(sc *Scenario) *instance {
+func newInstance(sc *Scenario, sh *shared) *instance {
 	sc.fillDefaults()
 	k := sim.NewKernel()
 	sys := coherence.MustNewSystem(k, coherence.Config{
@@ -52,16 +67,24 @@ func newInstance(sc *Scenario) *instance {
 	})
 	sys.DisableStaleReplyPoisoning = sc.InjectStaleReply
 	in := &instance{
-		sc:    sc,
-		k:     k,
-		sys:   sys,
-		pc:    make([]int, len(sc.Procs)),
-		held:  make([]map[uint64]bool, len(sc.Procs)),
-		wit:   newWitness(sc),
-		perms: rowPermutations(sc.N),
+		sc:       sc,
+		sh:       sh,
+		k:        k,
+		sys:      sys,
+		pc:       make([]int, len(sc.Procs)),
+		held:     make([][]uint64, len(sc.Procs)),
+		wit:      newWitness(sc),
+		fpc:      sh.getFPC(sys),
+		drvH:     make([]uint64, len(sc.Procs)),
+		drvDirty: make([]bool, len(sc.Procs)),
+		modLines: make([][]cache.Line, sc.N*sc.N),
+		modGen:   make([]uint64, sc.N*sc.N),
+	}
+	for i := range in.modGen {
+		in.modGen[i] = ^uint64(0)
 	}
 	for p := range sc.Procs {
-		in.held[p] = make(map[uint64]bool)
+		in.drvDirty[p] = true
 		p := p
 		k.AtTagged(0, stepTag{proc: p, step: 0}, func() { in.issue(p) })
 	}
@@ -73,6 +96,7 @@ func newInstance(sc *Scenario) *instance {
 func writeValue(proc, step int) uint64 { return uint64(1000 + 100*proc + step) }
 
 func (in *instance) issue(p int) {
+	in.drvDirty[p] = true
 	pr := in.sc.Procs[p]
 	step := in.pc[p]
 	op := pr.Ops[step]
@@ -118,23 +142,23 @@ func (in *instance) issue(p int) {
 	case OpTAS:
 		nd.TestAndSet(line, func(r coherence.Result) {
 			if r.Acquired {
-				in.held[p][op.Line] = true
+				in.held[p] = heldAdd(in.held[p], op.Line)
 			}
 			in.complete(p)
 		})
 	case OpSync:
 		nd.SyncAcquire(line, func(r coherence.Result) {
 			if r.Acquired {
-				in.held[p][op.Line] = true
+				in.held[p] = heldAdd(in.held[p], op.Line)
 			}
 			in.complete(p)
 		})
 	case OpUnlock:
-		if !in.held[p][op.Line] {
+		if !heldHas(in.held[p], op.Line) {
 			in.complete(p)
 			return
 		}
-		delete(in.held[p], op.Line)
+		in.held[p] = heldRemove(in.held[p], op.Line)
 		if nd.SyncRelease(line) {
 			in.complete(p)
 			return
@@ -156,6 +180,7 @@ func (in *instance) issue(p int) {
 }
 
 func (in *instance) complete(p int) {
+	in.drvDirty[p] = true
 	in.pc[p]++
 	in.completed++
 	if next := in.pc[p]; next < len(in.sc.Procs[p].Ops) {
@@ -179,6 +204,9 @@ func (in *instance) enableMC(ch sim.Chooser) { in.sys.EnableModelChecking(ch) }
 // events defer to the coherence layer's TagInfo.
 func (in *instance) classify(tag any) tagClass {
 	if st, ok := tag.(stepTag); ok {
+		if cls := in.sh.stepCls; st.proc < len(cls) && st.step < len(cls[st.proc]) {
+			return cls[st.proc][st.step]
+		}
 		m := newMixer()
 		m.word(0x20)
 		m.word(uint64(st.proc))
@@ -229,6 +257,67 @@ func (in *instance) stepCheck(maxReissues int) *Violation {
 	if s := in.sys.StrayReplies(); s > 0 {
 		return &Violation{Kind: "stray-reply", Msg: fmt.Sprintf("%d replies arrived with no matching outstanding request", s)}
 	}
+	// Duplicate-modified scan, incremental: each node's Modified lines
+	// are re-extracted only when its mutation counter moved; the
+	// cross-node duplicate test runs over the (tiny) cached lists. On a
+	// hit, the original full scan re-runs so the reported violation is
+	// byte-identical to the pre-incremental checker's.
+	n := in.sc.N
+	dup := false
+	seen := in.modSeen[:0]
+	for r := 0; r < n && !dup; r++ {
+		for c := 0; c < n && !dup; c++ {
+			i := r*n + c
+			nd := in.sys.Node(topology.Coord{Row: r, Col: c})
+			if g := nd.Gen(); g != in.modGen[i] {
+				lines := in.modLines[i][:0]
+				nd.Cache().ForEach(func(e *cache.Entry) {
+					if e.State == coherence.Modified {
+						lines = append(lines, e.Line)
+					}
+				})
+				in.modLines[i] = lines
+				in.modGen[i] = g
+			}
+			for _, l := range in.modLines[i] {
+				for _, prev := range seen {
+					if prev == l {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					break
+				}
+				seen = append(seen, l)
+			}
+		}
+	}
+	in.modSeen = seen
+	if dup {
+		return in.dupModifiedScan()
+	}
+	reissues := uint64(0)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			reissues += in.sys.Node(topology.Coord{Row: r, Col: c}).Stats().Reissues
+		}
+	}
+	for c := 0; c < n; c++ {
+		reissues += in.sys.MemoryAt(c).Store().Stats().Reissues
+	}
+	if maxReissues > 0 && reissues > uint64(maxReissues) {
+		return &Violation{Kind: "livelock",
+			Msg: fmt.Sprintf("%d retransmissions exceed the bound of %d: possible livelock", reissues, maxReissues)}
+	}
+	return nil
+}
+
+// dupModifiedScan is the original full duplicate-modified walk, run
+// only once the incremental scan has detected a duplicate, so the
+// violation message (which cache held the line first) is identical to
+// the pre-incremental checker's.
+func (in *instance) dupModifiedScan() *Violation {
 	n := in.sc.N
 	holders := make(map[cache.Line]topology.Coord)
 	for r := 0; r < n; r++ {
@@ -250,19 +339,6 @@ func (in *instance) stepCheck(maxReissues int) *Violation {
 				return dup
 			}
 		}
-	}
-	reissues := uint64(0)
-	for r := 0; r < n; r++ {
-		for c := 0; c < n; c++ {
-			reissues += in.sys.Node(topology.Coord{Row: r, Col: c}).Stats().Reissues
-		}
-	}
-	for c := 0; c < n; c++ {
-		reissues += in.sys.MemoryAt(c).Store().Stats().Reissues
-	}
-	if maxReissues > 0 && reissues > uint64(maxReissues) {
-		return &Violation{Kind: "livelock",
-			Msg: fmt.Sprintf("%d retransmissions exceed the bound of %d: possible livelock", reissues, maxReissues)}
 	}
 	return nil
 }
@@ -315,9 +391,120 @@ func (m *mixer) word(v uint64) {
 // deliberately excluded: it grows monotonically and is checked along
 // every execution rather than treated as state (write values are unique,
 // so distinct histories almost always differ in machine state anyway).
+//
+// The default path is incremental: FPCache refreshes only the machine
+// components the last kernel steps dirtied, the driver hashes refresh
+// only for processors that issued or completed, and each relabeling is
+// an O(n²) combine of cached hashes. shared.legacyFP selects the
+// original full-walk path (for A/B partition-equivalence tests);
+// shared.checkFP additionally recomputes everything from scratch at
+// every choice point and panics on any divergence.
 func (in *instance) canonicalFP() uint64 {
+	if in.sh.legacyFP {
+		return in.canonicalFPLegacy()
+	}
+	in.fpc.BeginPoint(in.extraRow)
+	in.refreshDriver()
 	best := ^uint64(0)
-	for _, perm := range in.perms {
+	for i, perm := range in.sh.perms {
+		m := newMixer()
+		m.word(in.fpc.FP(perm, in.sh.invs[i]))
+		m.word(in.driverCombine(i, perm, in.drvH))
+		if fp := uint64(m); fp < best {
+			best = fp
+		}
+	}
+	if in.sh.checkFP {
+		in.crossCheckFP(best)
+	}
+	return best
+}
+
+// extraRow describes driver step events to FPCache: the issuer's
+// physical row plus a row-independent remainder hash.
+func (in *instance) extraRow(tag any) (int, uint64, bool) {
+	st, ok := tag.(stepTag)
+	if !ok {
+		return 0, 0, false
+	}
+	at := in.sc.Procs[st.proc].At
+	m := newMixer()
+	m.word(uint64(at.Col))
+	m.word(uint64(st.step))
+	return at.Row, uint64(m), true
+}
+
+// driverHash computes one processor's driver-state hash: program
+// counter, static program, and held lock lines.
+func (in *instance) driverHash(p int) uint64 {
+	m := newMixer()
+	m.word(uint64(in.pc[p]))
+	m.word(in.sh.progH[p])
+	m.word(uint64(len(in.held[p])))
+	for _, l := range in.held[p] {
+		m.word(l)
+	}
+	return uint64(m)
+}
+
+func (in *instance) refreshDriver() {
+	for p := range in.drvH {
+		if !in.drvDirty[p] {
+			in.drvInc++
+			continue
+		}
+		in.drvDirty[p] = false
+		in.drvRec++
+		in.drvH[p] = in.driverHash(p)
+	}
+}
+
+// driverCombine folds the per-processor driver hashes in canonical
+// (permuted row, col) order — precomputed per relabeling in shared.
+func (in *instance) driverCombine(permIdx int, perm []int, drvH []uint64) uint64 {
+	m := newMixer()
+	for _, p := range in.sh.procOrder[permIdx] {
+		at := in.sc.Procs[p].At
+		m.word(uint64(perm[at.Row]))
+		m.word(uint64(at.Col))
+		m.word(drvH[p])
+	}
+	return uint64(m)
+}
+
+// crossCheckFP recomputes the canonical fingerprint from scratch — a
+// fresh all-dirty FPCache and fresh driver hashes — and panics if the
+// incremental path diverged. Debug mode only (Options.CheckFP).
+func (in *instance) crossCheckFP(got uint64) {
+	fresh := coherence.NewFPCache(in.sys)
+	fresh.BeginPoint(in.extraRow)
+	drv := make([]uint64, len(in.sc.Procs))
+	for p := range drv {
+		drv[p] = in.driverHash(p)
+		if drv[p] != in.drvH[p] {
+			panic(fmt.Sprintf("mc: stale incremental driver hash for proc %d: cached %#x, recomputed %#x", p, in.drvH[p], drv[p]))
+		}
+	}
+	best := ^uint64(0)
+	for i, perm := range in.sh.perms {
+		m := newMixer()
+		m.word(fresh.FP(perm, in.sh.invs[i]))
+		m.word(in.driverCombine(i, perm, drv))
+		if fp := uint64(m); fp < best {
+			best = fp
+		}
+	}
+	if best != got {
+		panic(fmt.Sprintf("mc: incremental fingerprint diverged from recompute: incremental %#x, from-scratch %#x (scenario %s)", got, best, in.sc.Name))
+	}
+}
+
+// canonicalFPLegacy is the pre-incremental path: a full machine walk per
+// relabeling via System.Fingerprint. Kept behind Options.legacyFP so
+// tests can assert the two paths induce the same state partition.
+func (in *instance) canonicalFPLegacy() uint64 {
+	best := ^uint64(0)
+	for _, perm := range in.sh.perms {
 		perm := perm
 		extra := func(tag any) (uint64, bool) {
 			st, ok := tag.(stepTag)
@@ -355,12 +542,7 @@ func (in *instance) driverFP(perm []int) uint64 {
 			m.word(uint64(op.Kind))
 			m.word(op.Line)
 		}
-		lines := make([]uint64, 0, len(in.held[p]))
-		for l := range in.held[p] {
-			lines = append(lines, l)
-		}
-		sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
-		for _, l := range lines {
+		for _, l := range in.held[p] { // already sorted
 			m.word(l)
 		}
 		ents = append(ents, ent{r: perm[pr.At.Row], c: pr.At.Col, fp: uint64(m)})
@@ -378,6 +560,22 @@ func (in *instance) driverFP(perm []int) uint64 {
 		m.word(e.fp)
 	}
 	return uint64(m)
+}
+
+// fpStats reports incremental-fingerprint effectiveness: component
+// hashes recomputed vs served from cache (machine plus driver).
+func (in *instance) fpStats() (recomputes, incremental uint64) {
+	r, u := in.fpc.Stats()
+	return r + in.drvRec, u + in.drvInc
+}
+
+// release returns pooled resources; the instance must not fingerprint
+// afterwards.
+func (in *instance) release() {
+	if in.fpc != nil {
+		in.sh.put(in.fpc)
+		in.fpc = nil
+	}
 }
 
 // rowPermutations enumerates all relabelings of n rows. Beyond 4 rows

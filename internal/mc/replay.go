@@ -31,7 +31,7 @@ func Replay(sc Scenario, choices []int, opts Options) (*ReplayResult, error) {
 		return nil, err
 	}
 	opts.fillDefaults()
-	ck := newChecker(&sc)
+	ck := newChecker(&sc, newShared(&sc, &opts))
 	log := &trace.BusOpLog{}
 	k := ck.kernel()
 	switch in := ck.(type) {

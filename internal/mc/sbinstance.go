@@ -17,18 +17,25 @@ import (
 // position; line L's word 0 maps to word address L*BlockWords.
 type sbInstance struct {
 	sc *Scenario
+	sh *shared
 	k  *sim.Kernel
 	m  *singlebus.Machine
 
 	pc        []int
 	completed int
 	wit       *witness
-	perms     [][]int
+
+	// Incremental fingerprint state, mirroring instance.
+	fpc      *singlebus.FPCache
+	drvH     []uint64
+	drvDirty []bool
+	drvRec   uint64
+	drvInc   uint64
 
 	failure string
 }
 
-func newSBInstance(sc *Scenario) *sbInstance {
+func newSBInstance(sc *Scenario, sh *shared) *sbInstance {
 	sc.fillDefaults()
 	m := singlebus.MustNew(singlebus.Config{
 		Processors: len(sc.Procs),
@@ -37,14 +44,18 @@ func newSBInstance(sc *Scenario) *sbInstance {
 		CacheAssoc: sc.CacheAssoc,
 	})
 	in := &sbInstance{
-		sc:    sc,
-		k:     m.Kernel(),
-		m:     m,
-		pc:    make([]int, len(sc.Procs)),
-		wit:   newWitness(sc),
-		perms: rowPermutations(len(sc.Procs)),
+		sc:       sc,
+		sh:       sh,
+		k:        m.Kernel(),
+		m:        m,
+		pc:       make([]int, len(sc.Procs)),
+		wit:      newWitness(sc),
+		fpc:      sh.getSBFPC(m),
+		drvH:     make([]uint64, len(sc.Procs)),
+		drvDirty: make([]bool, len(sc.Procs)),
 	}
 	for p := range sc.Procs {
+		in.drvDirty[p] = true
 		p := p
 		in.k.AtTagged(0, stepTag{proc: p, step: 0}, func() { in.issue(p) })
 	}
@@ -78,6 +89,7 @@ func (in *sbInstance) issue(p int) {
 }
 
 func (in *sbInstance) complete(p int) {
+	in.drvDirty[p] = true
 	in.pc[p]++
 	in.completed++
 	if next := in.pc[p]; next < len(in.sc.Procs[p].Ops) {
@@ -169,10 +181,99 @@ func (in *sbInstance) quiescenceCheck() *Violation {
 
 // canonicalFP fingerprints machine and driver state, minimized over all
 // processor relabelings (every cache controller on the one bus is
-// interchangeable).
+// interchangeable). Incremental by default, mirroring instance; see
+// there for the legacy and cross-check modes.
 func (in *sbInstance) canonicalFP() uint64 {
+	if in.sh.legacyFP {
+		return in.canonicalFPLegacy()
+	}
+	in.fpc.BeginPoint(in.extraRow)
+	in.refreshDriver()
 	best := ^uint64(0)
-	for _, perm := range in.perms {
+	for i, perm := range in.sh.perms {
+		m := newMixer()
+		m.word(in.fpc.FP(perm, in.sh.invs[i]))
+		m.word(in.driverCombine(in.sh.invs[i], in.drvH))
+		if fp := uint64(m); fp < best {
+			best = fp
+		}
+	}
+	if in.sh.checkFP {
+		in.crossCheckFP(best)
+	}
+	return best
+}
+
+func (in *sbInstance) extraRow(tag any) (int, uint64, bool) {
+	st, ok := tag.(stepTag)
+	if !ok {
+		return 0, 0, false
+	}
+	m := newMixer()
+	m.word(uint64(st.step))
+	return st.proc, uint64(m), true
+}
+
+func (in *sbInstance) driverHash(p int) uint64 {
+	m := newMixer()
+	m.word(uint64(in.pc[p]))
+	m.word(in.sh.progH[p])
+	return uint64(m)
+}
+
+func (in *sbInstance) refreshDriver() {
+	for p := range in.drvH {
+		if !in.drvDirty[p] {
+			in.drvInc++
+			continue
+		}
+		in.drvDirty[p] = false
+		in.drvRec++
+		in.drvH[p] = in.driverHash(p)
+	}
+}
+
+// driverCombine folds the per-processor driver hashes in canonical
+// order: canonical slot cp holds physical processor inv[cp].
+func (in *sbInstance) driverCombine(inv []int, drvH []uint64) uint64 {
+	m := newMixer()
+	for _, p := range inv {
+		m.word(drvH[p])
+	}
+	return uint64(m)
+}
+
+// crossCheckFP recomputes the canonical fingerprint from scratch and
+// panics if the incremental path diverged (Options.CheckFP).
+func (in *sbInstance) crossCheckFP(got uint64) {
+	fresh := singlebus.NewFPCache(in.m)
+	fresh.BeginPoint(in.extraRow)
+	drv := make([]uint64, len(in.sc.Procs))
+	for p := range drv {
+		drv[p] = in.driverHash(p)
+		if drv[p] != in.drvH[p] {
+			panic(fmt.Sprintf("mc: stale incremental driver hash for proc %d: cached %#x, recomputed %#x", p, in.drvH[p], drv[p]))
+		}
+	}
+	best := ^uint64(0)
+	for i, perm := range in.sh.perms {
+		m := newMixer()
+		m.word(fresh.FP(perm, in.sh.invs[i]))
+		m.word(in.driverCombine(in.sh.invs[i], drv))
+		if fp := uint64(m); fp < best {
+			best = fp
+		}
+	}
+	if best != got {
+		panic(fmt.Sprintf("mc: incremental fingerprint diverged from recompute: incremental %#x, from-scratch %#x (scenario %s)", got, best, in.sc.Name))
+	}
+}
+
+// canonicalFPLegacy is the pre-incremental full-walk path, kept behind
+// Options.legacyFP for A/B partition-equivalence tests.
+func (in *sbInstance) canonicalFPLegacy() uint64 {
+	best := ^uint64(0)
+	for _, perm := range in.sh.perms {
 		perm := perm
 		extra := func(tag any) (uint64, bool) {
 			st, ok := tag.(stepTag)
@@ -211,4 +312,16 @@ func (in *sbInstance) driverFP(perm []int) uint64 {
 		m.word(f)
 	}
 	return uint64(m)
+}
+
+func (in *sbInstance) fpStats() (recomputes, incremental uint64) {
+	r, u := in.fpc.Stats()
+	return r + in.drvRec, u + in.drvInc
+}
+
+func (in *sbInstance) release() {
+	if in.fpc != nil {
+		in.sh.put(in.fpc)
+		in.fpc = nil
+	}
 }

@@ -1,0 +1,140 @@
+package mc
+
+import (
+	"sort"
+	"sync"
+
+	"multicube/internal/coherence"
+	"multicube/internal/singlebus"
+)
+
+// shared holds the cross-run immutable data of one exploration, computed
+// once instead of per from-scratch execution: the row (or processor)
+// relabelings with their precomputed inverses, the per-relabeling driver
+// combine order, the static per-processor program hashes, and a pool of
+// incremental fingerprint caches recycled across the explorer's
+// thousands of runs. It is safe for concurrent use by parallel workers:
+// everything but the pool is read-only after construction.
+type shared struct {
+	perms [][]int
+	invs  [][]int
+	// procOrder, for grid scenarios, lists processor indices in canonical
+	// (permuted row, col) order per relabeling — the sort the legacy
+	// driver fingerprint performed per call. Unused for SingleBus
+	// scenarios, where canonical order is inv itself.
+	procOrder [][]int
+	// progH is each processor's static program hash (op kinds and lines).
+	progH []uint64
+	// stepCls precomputes the tagClass of every (processor, step) driver
+	// event: classify runs per candidate per choice point, and driver
+	// step classes are static.
+	stepCls [][]tagClass
+
+	legacyFP bool
+	checkFP  bool
+
+	pool sync.Pool // *coherence.FPCache or *singlebus.FPCache (never mixed)
+}
+
+func newShared(sc *Scenario, opts *Options) *shared {
+	sh := &shared{legacyFP: opts.legacyFP, checkFP: opts.CheckFP}
+	n := sc.N
+	if sc.SingleBus {
+		n = len(sc.Procs)
+	}
+	sh.perms = rowPermutations(n)
+	sh.invs = make([][]int, len(sh.perms))
+	for i, perm := range sh.perms {
+		inv := make([]int, len(perm))
+		for phys, canon := range perm {
+			inv[canon] = phys
+		}
+		sh.invs[i] = inv
+	}
+	sh.progH = make([]uint64, len(sc.Procs))
+	for p, pr := range sc.Procs {
+		m := newMixer()
+		m.word(uint64(len(pr.Ops)))
+		for _, op := range pr.Ops {
+			m.word(uint64(op.Kind))
+			m.word(op.Line)
+		}
+		sh.progH[p] = uint64(m)
+	}
+	sh.stepCls = make([][]tagClass, len(sc.Procs))
+	for p, pr := range sc.Procs {
+		sh.stepCls[p] = make([]tagClass, len(pr.Ops)+1)
+		for step := range sh.stepCls[p] {
+			m := newMixer()
+			m.word(0x20)
+			m.word(uint64(p))
+			m.word(uint64(step))
+			sh.stepCls[p][step] = tagClass{kind: tkStep, bus: -1, at: pr.At, fp: uint64(m)}
+		}
+	}
+	if !sc.SingleBus {
+		sh.procOrder = make([][]int, len(sh.perms))
+		for i, perm := range sh.perms {
+			order := make([]int, len(sc.Procs))
+			for p := range order {
+				order[p] = p
+			}
+			sort.SliceStable(order, func(a, b int) bool {
+				pa, pb := sc.Procs[order[a]].At, sc.Procs[order[b]].At
+				ra, rb := perm[pa.Row], perm[pb.Row]
+				if ra != rb {
+					return ra < rb
+				}
+				return pa.Col < pb.Col
+			})
+			sh.procOrder[i] = order
+		}
+	}
+	return sh
+}
+
+func (sh *shared) getFPC(sys *coherence.System) *coherence.FPCache {
+	if v := sh.pool.Get(); v != nil {
+		f := v.(*coherence.FPCache)
+		f.Reset(sys)
+		return f
+	}
+	return coherence.NewFPCache(sys)
+}
+
+func (sh *shared) getSBFPC(m *singlebus.Machine) *singlebus.FPCache {
+	if v := sh.pool.Get(); v != nil {
+		f := v.(*singlebus.FPCache)
+		f.Reset(m)
+		return f
+	}
+	return singlebus.NewFPCache(m)
+}
+
+func (sh *shared) put(f any) { sh.pool.Put(f) }
+
+// heldAdd inserts line into the sorted held-lines slice (no-op if
+// present). The slices are tiny — at most a program's lock count.
+func heldAdd(s []uint64, line uint64) []uint64 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= line })
+	if i < len(s) && s[i] == line {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = line
+	return s
+}
+
+func heldHas(s []uint64, line uint64) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= line })
+	return i < len(s) && s[i] == line
+}
+
+func heldRemove(s []uint64, line uint64) []uint64 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= line })
+	if i >= len(s) || s[i] != line {
+		return s
+	}
+	return append(s[:i], s[i+1:]...)
+}

@@ -25,13 +25,17 @@ type ChoicePoint struct {
 
 // Candidate is one alternative at a choice point.
 type Candidate struct {
-	// Label is a human-readable description, used in counterexamples.
-	Label string
 	// Tag is the scheduling tag of the underlying event or the queued
 	// bus packet; model checkers use it to classify and fingerprint the
 	// alternative.
 	Tag any
 }
+
+// Label renders a human-readable description of the candidate for
+// diagnostics. It formats on demand: the explorer resolves millions of
+// choice points and never reads labels, so candidates must not pay for
+// string formatting up front.
+func (c Candidate) Label() string { return labelFor(c.Tag) }
 
 // Chooser resolves nondeterministic ties. Choose must return an index in
 // [0, len(cands)); returning 0 everywhere reproduces the default

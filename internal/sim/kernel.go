@@ -15,7 +15,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -53,6 +52,10 @@ type event struct {
 	tag any
 }
 
+// eventHeap is a binary min-heap on (at, seq) with hand-written sift
+// functions: the container/heap interface boxes every event into an
+// interface value on Push and Pop, and under a model checker the kernel
+// pushes and pops millions of events.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -62,14 +65,72 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() event {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+	n := len(old) - 1
+	old.Swap(0, n)
+	e := old[n]
+	old[n] = event{}
+	*h = old[:n]
+	if n > 0 {
+		(*h).down(0)
+	}
 	return e
+}
+
+// remove deletes the element at index i, preserving the heap order.
+func (h *eventHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	if i != n {
+		old.Swap(i, n)
+	}
+	old[n] = event{}
+	*h = old[:n]
+	if i < n {
+		if !(*h).down(i) {
+			(*h).up(i)
+		}
+	}
+}
+
+func (h eventHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		j = i
+	}
+}
+
+func (h eventHeap) down(i0 int) bool {
+	i := i0
+	n := len(h)
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.Less(j2, j1) {
+			j = j2
+		}
+		if !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		i = j
+	}
+	return i > i0
 }
 
 // Kernel is a single-threaded discrete-event scheduler.
@@ -91,13 +152,16 @@ type Kernel struct {
 
 	// executed counts events dispatched, for diagnostics and tests.
 	executed uint64
+
+	// scratch buffers reused by stepChosen, which runs once per kernel
+	// step under a model checker and must not allocate.
+	ordered eventHeap
+	cands   []Candidate
 }
 
 // NewKernel returns an empty kernel at time zero.
 func NewKernel() *Kernel {
-	k := &Kernel{}
-	heap.Init(&k.events)
-	return k
+	return &Kernel{}
 }
 
 // Now reports the current simulated time.
@@ -120,7 +184,7 @@ func (k *Kernel) AtTagged(t Time, tag any, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
 	k.seq++
-	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn, tag: tag})
+	k.events.push(event{at: t, seq: k.seq, fn: fn, tag: tag})
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -151,6 +215,16 @@ func (k *Kernel) ForEachPending(fn func(at Time, tag any)) {
 	}
 }
 
+// ForEachPendingTag visits every pending event's tag in arbitrary
+// (heap) order without allocating. Callers that need a deterministic
+// combination must make their per-event contribution order-insensitive,
+// e.g. by sorting derived hashes.
+func (k *Kernel) ForEachPendingTag(fn func(tag any)) {
+	for i := range k.events {
+		fn(k.events[i].tag)
+	}
+}
+
 // Step dispatches one event — the single earliest, or the chooser's pick
 // among the candidate set when a Chooser is installed. It reports false
 // when no events remain.
@@ -159,7 +233,7 @@ func (k *Kernel) Step() bool {
 		return false
 	}
 	if k.chooser == nil {
-		e := heap.Pop(&k.events).(event)
+		e := k.events.pop()
 		k.now = e.at
 		k.executed++
 		e.fn()
@@ -172,8 +246,9 @@ func (k *Kernel) Step() bool {
 // (time, sequence) order, so choice 0 is exactly the event the default
 // path would dispatch.
 func (k *Kernel) stepChosen() bool {
-	ordered := append(eventHeap(nil), k.events...)
-	sort.Slice(ordered, func(i, j int) bool { return ordered.Less(i, j) })
+	ordered := append(k.ordered[:0], k.events...)
+	sortEvents(ordered)
+	k.ordered = ordered
 	n := len(ordered)
 	if !k.allEvents {
 		n = 1
@@ -183,10 +258,11 @@ func (k *Kernel) stepChosen() bool {
 	}
 	idx := 0
 	if n > 1 {
-		cands := make([]Candidate, n)
-		for i, e := range ordered[:n] {
-			cands[i] = Candidate{Label: labelFor(e.tag), Tag: e.tag}
+		cands := k.cands[:0]
+		for _, e := range ordered[:n] {
+			cands = append(cands, Candidate{Tag: e.tag})
 		}
+		k.cands = cands
 		idx = k.chooser.Choose(ChoicePoint{Kind: "sched"}, cands)
 		if idx < 0 || idx >= n {
 			panic(fmt.Sprintf("sim: chooser picked %d of %d candidates", idx, n))
@@ -195,7 +271,7 @@ func (k *Kernel) stepChosen() bool {
 	e := ordered[idx]
 	for i := range k.events {
 		if k.events[i].seq == e.seq {
-			heap.Remove(&k.events, i)
+			k.events.remove(i)
 			break
 		}
 	}
@@ -208,6 +284,21 @@ func (k *Kernel) stepChosen() bool {
 	k.executed++
 	e.fn()
 	return true
+}
+
+// sortEvents orders the scratch copy by (at, seq) without the
+// interface boxing of sort.Sort: candidate sets are small, so an
+// insertion sort wins and allocates nothing.
+func sortEvents(evs []event) {
+	for i := 1; i < len(evs); i++ {
+		e := evs[i]
+		j := i
+		for j > 0 && (e.at < evs[j-1].at || (e.at == evs[j-1].at && e.seq < evs[j-1].seq)) {
+			evs[j] = evs[j-1]
+			j--
+		}
+		evs[j] = e
+	}
 }
 
 // Run dispatches events until none remain and returns the final time.

@@ -1,0 +1,273 @@
+package singlebus
+
+import (
+	"multicube/internal/bus"
+	"multicube/internal/cache"
+	"multicube/internal/memory"
+)
+
+// FPCache is the incremental companion of Machine.Fingerprint, mirroring
+// internal/coherence's FPCache on the baseline machine. Per-processor
+// cache/pending hashes and the memory hash are cached behind generation
+// counters; the bus section and the pending-event multiset are rebuilt
+// every choice point because queued and in-flight ops mutate
+// fingerprint-visible fields (inhibit/confirmed/canceled) in place. The
+// hash values differ from Machine.Fingerprint but induce the same
+// equivalence partition (see internal/coherence/fpincr.go).
+
+type sbEvRec struct {
+	kind evKind // reuses the coherence-style discriminants locally
+	op   *op
+	row  int
+	rest uint64
+}
+
+type evKind uint8
+
+const (
+	evGrant evKind = iota
+	evDeliver
+	evExtra
+	evOpaque
+)
+
+// ExtraTagFunc describes a driver-owned kernel event tag: row is the
+// issuing processor (permuted during the combine) and rest hashes the
+// processor-independent remainder.
+type ExtraTagFunc func(tag any) (row int, rest uint64, ok bool)
+
+// FPCache incrementally fingerprints one Machine. Not safe for
+// concurrent use; each explorer worker owns one (pooled across runs).
+type FPCache struct {
+	m *Machine
+	n int
+
+	procH   []uint64
+	procGen []uint64
+	memH    uint64
+	memGen  uint64
+
+	busy     bool
+	inflight *op
+	perSrc   [][]*op
+	nonEmpty int
+
+	evs []sbEvRec
+	evH []uint64
+
+	recomputes uint64
+	reused     uint64
+}
+
+// NewFPCache returns a cache bound to m with every component dirty.
+func NewFPCache(m *Machine) *FPCache {
+	f := &FPCache{}
+	f.Reset(m)
+	return f
+}
+
+// Reset rebinds the cache to m (possibly a fresh machine from a pooled
+// run) and marks every component dirty.
+func (f *FPCache) Reset(m *Machine) {
+	n := len(m.procs)
+	f.m = m
+	f.recomputes, f.reused = 0, 0
+	if f.n != n {
+		f.n = n
+		f.procH = make([]uint64, n)
+		f.procGen = make([]uint64, n)
+	}
+	const dirty = ^uint64(0)
+	for i := 0; i < n; i++ {
+		f.procGen[i] = dirty
+	}
+	f.memGen = dirty
+	f.evs = f.evs[:0]
+}
+
+// Stats reports how many component hashes were rebuilt vs served from
+// cache since the last Reset.
+func (f *FPCache) Stats() (recomputes, reused uint64) { return f.recomputes, f.reused }
+
+// BeginPoint refreshes dirty components and snapshots the bus and the
+// pending event set; call once per choice point, before FP.
+func (f *FPCache) BeginPoint(extra ExtraTagFunc) {
+	m := f.m
+	for i, p := range m.procs {
+		if p.gen != f.procGen[i] {
+			f.procH[i] = procHash(p)
+			f.procGen[i] = p.gen
+			f.recomputes++
+		} else {
+			f.reused++
+		}
+	}
+	if m.mem.gen != f.memGen {
+		f.memH = sbMemHash(m.mem)
+		f.memGen = m.mem.gen
+		f.recomputes++
+	} else {
+		f.reused++
+	}
+
+	f.busy = m.bus.Busy()
+	f.inflight = nil
+	if p := m.bus.Inflight(); p != nil {
+		f.inflight = p.(*op)
+	}
+	if len(f.perSrc) < m.bus.Agents() {
+		f.perSrc = make([][]*op, m.bus.Agents())
+	}
+	for i := range f.perSrc {
+		f.perSrc[i] = f.perSrc[i][:0]
+	}
+	f.nonEmpty = 0
+	m.bus.ForEachQueued(func(src int, pkt bus.Packet) {
+		if len(f.perSrc[src]) == 0 {
+			f.nonEmpty++
+		}
+		f.perSrc[src] = append(f.perSrc[src], pkt.(*op))
+	})
+
+	f.evs = f.evs[:0]
+	m.k.ForEachPendingTag(func(tag any) {
+		var e sbEvRec
+		switch t := tag.(type) {
+		case bus.GrantTag:
+			e.kind = evGrant
+		case bus.DeliverTag:
+			e.kind = evDeliver
+			e.op = t.Pkt.(*op)
+		default:
+			e.kind = evOpaque
+			if extra != nil {
+				if row, rest, ok := extra(tag); ok {
+					e.kind = evExtra
+					e.row, e.rest = row, rest
+				}
+			}
+		}
+		f.evs = append(f.evs, e)
+	})
+}
+
+// FP combines the cached and per-point state under the processor
+// relabeling perm (inv its inverse, both caller-owned).
+func (f *FPCache) FP(perm, inv []int) uint64 {
+	n := f.n
+	h := sbfnvOffset
+	for cp := 0; cp < n; cp++ {
+		h.u64(f.procH[inv[cp]])
+	}
+	h.u64(f.memH)
+
+	h.bit(f.busy)
+	h.bit(f.inflight != nil)
+	if f.inflight != nil {
+		h.u64(f.inflight.fp(perm))
+	}
+	h.u64(uint64(f.nonEmpty))
+	emit := func(canonSrc int, ops []*op) {
+		if len(ops) == 0 {
+			return
+		}
+		h.u64(uint64(canonSrc))
+		h.u64(uint64(len(ops)))
+		for _, o := range ops {
+			h.u64(o.fp(perm))
+		}
+	}
+	// Processor sources in canonical order; the memory module attaches
+	// last and maps to itself.
+	for cp := 0; cp < n; cp++ {
+		if src := inv[cp]; src < len(f.perSrc) {
+			emit(cp, f.perSrc[src])
+		}
+	}
+	for src := n; src < len(f.perSrc); src++ {
+		emit(src, f.perSrc[src])
+	}
+
+	if cap(f.evH) < len(f.evs) {
+		f.evH = make([]uint64, 0, len(f.evs)*2)
+	}
+	evH := f.evH[:0]
+	for i := range f.evs {
+		e := &f.evs[i]
+		eh := sbfnvOffset
+		switch e.kind {
+		case evGrant:
+			eh.u64(0x11)
+		case evDeliver:
+			eh.u64(0x12)
+			eh.u64(e.op.fp(perm))
+		case evExtra:
+			eh.u64(0x13)
+			eh.u64(uint64(perm[e.row]))
+			eh.u64(e.rest)
+		default:
+			eh.u64(0x1f)
+		}
+		v := uint64(eh)
+		j := len(evH)
+		evH = append(evH, v)
+		for j > 0 && evH[j-1] > v {
+			evH[j] = evH[j-1]
+			j--
+		}
+		evH[j] = v
+	}
+	f.evH = evH
+	h.u64(uint64(len(evH)))
+	for _, v := range evH {
+		h.u64(v)
+	}
+	return uint64(h)
+}
+
+// procHash hashes one processor's cache contents and pending request —
+// the same fields Machine.Fingerprint walks, none of which name a
+// processor index.
+func procHash(p *Processor) uint64 {
+	h := sbfnvOffset
+	h.u64(0x01)
+	sub := sbfnvOffset
+	count := 0
+	p.cache.ForEach(func(e *cache.Entry) {
+		count++
+		sub.u64(uint64(e.Line))
+		sub.byte(byte(e.State))
+		for _, w := range e.Data {
+			sub.u64(w)
+		}
+	})
+	h.u64(uint64(count))
+	h.u64(uint64(sub))
+	h.u64(0x02)
+	h.bit(p.pend != nil)
+	if r := p.pend; r != nil {
+		h.u64(uint64(r.line))
+		h.bit(r.write)
+		h.u64(uint64(r.offset))
+		h.u64(r.value)
+	}
+	return uint64(h)
+}
+
+func sbMemHash(mm *memModule) uint64 {
+	h := sbfnvOffset
+	h.u64(0x03)
+	sub := sbfnvOffset
+	count := 0
+	mm.store.ForEach(func(line memory.Line, valid bool, data []uint64) {
+		count++
+		sub.u64(uint64(line))
+		sub.bit(valid)
+		for _, w := range data {
+			sub.u64(w)
+		}
+	})
+	h.u64(uint64(count))
+	h.u64(uint64(sub))
+	return uint64(h)
+}

@@ -34,6 +34,11 @@ type Processor struct {
 	// grant.
 	wbuf []*op
 
+	// gen counts mutations of fingerprint-visible processor state (cache
+	// contents, pending request); bumped conservatively at the mutating
+	// entry points so FPCache can skip rehashing unchanged processors.
+	gen uint64
+
 	loads, stores, hits uint64
 	invalidations       uint64
 }
@@ -60,6 +65,7 @@ func (p *Processor) Stats() (loads, stores, hits, invalidations uint64) {
 
 // LoadAsync reads the word at addr; done receives the value.
 func (p *Processor) LoadAsync(addr Addr, done func(uint64)) {
+	p.gen++
 	p.loads++
 	line := cache.Line(addr / Addr(p.m.cfg.BlockWords))
 	off := int(addr % Addr(p.m.cfg.BlockWords))
@@ -77,6 +83,7 @@ func (p *Processor) LoadAsync(addr Addr, done func(uint64)) {
 // and receives the word value the store overwrote at commit time — the
 // coherence-order predecessor a sequential-consistency witness needs.
 func (p *Processor) StoreAsync(addr Addr, value uint64, done func(old uint64)) {
+	p.gen++
 	p.stores++
 	line := cache.Line(addr / Addr(p.m.cfg.BlockWords))
 	off := int(addr % Addr(p.m.cfg.BlockWords))
@@ -184,6 +191,7 @@ func (p *Processor) probe(o *op) {
 // snoop applies the write-once state transitions at the end of the
 // transaction.
 func (p *Processor) snoop(o *op) {
+	p.gen++
 	e, have := p.cache.Lookup(o.line)
 	if o.kind == opRead || o.kind == opReadInv {
 		if wb := p.wbufFind(o.line); wb != nil {

@@ -209,9 +209,11 @@ func (m *Machine) PacketFP(pkt bus.Packet) (uint64, bool) {
 	if !isOp {
 		return 0, false
 	}
-	perm := make([]int, len(m.procs))
-	for i := range perm {
-		perm[i] = i
+	if len(m.fpIdent) != len(m.procs) {
+		m.fpIdent = make([]int, len(m.procs))
+		for i := range m.fpIdent {
+			m.fpIdent[i] = i
+		}
 	}
-	return o.fp(perm), true
+	return o.fp(m.fpIdent), true
 }
