@@ -47,6 +47,7 @@ func run() int {
 	noPOR := flag.Bool("no-por", false, "disable the partial-order reduction entirely")
 	noSleep := flag.Bool("no-sleep", false, "keep eager-firing but disable the sleep sets")
 	noMin := flag.Bool("no-minimize", false, "skip counterexample shrinking")
+	scNodes := flag.Int("sc-nodes", 0, "per-execution SC search node budget for CheckSC scenarios (0 = memmodel default)")
 	quiet := flag.Bool("quiet", false, "suppress the bus trace on violations")
 	checkFP := flag.Bool("checkfp", false, "cross-check the incremental fingerprint against a from-scratch recompute at every choice point (slow)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout instead of text")
@@ -114,6 +115,7 @@ func run() int {
 		DisablePOR:   *noPOR,
 		DisableSleep: *noSleep,
 		NoMinimize:   *noMin,
+		SCNodes:      *scNodes,
 		CheckFP:      *checkFP,
 	}
 
@@ -155,6 +157,10 @@ func run() int {
 	}
 	fmt.Printf("elapsed   %v\n", elapsed)
 	fmt.Printf("fp        %d component recomputes, %d cache hits\n", res.FPRecomputes, res.FPIncremental)
+	if res.SCVerdict != "" {
+		fmt.Printf("sc        %d histories checked (%d undecided): %s\n",
+			res.SCChecks, res.SCUndecided, res.SCVerdict)
+	}
 
 	if res.Violation == nil {
 		fmt.Printf("result    no violations\n")

@@ -9,6 +9,13 @@
 //
 // With -trace-out, the generated reference stream is also written as a
 // text trace replayable by multicube-sim -trace-in.
+//
+// With -memmodel, the simulator instead runs the litmus tests as timed
+// DES stress programs (see internal/workload.RunLitmus) across a sweep
+// of jitter seeds and judges every captured history with the
+// sequential-consistency checker, exiting nonzero on any violation:
+//
+//	multicube-sim -memmodel [-litmus all] [-n 2] [-seeds 8] [-rounds 4]
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"time"
 
 	"multicube/internal/core"
+	"multicube/internal/memmodel"
 	"multicube/internal/sim"
 	"multicube/internal/trace"
 	"multicube/internal/workload"
@@ -38,7 +46,16 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	traceIn := flag.String("trace-in", "", "replay a text trace instead of the generator")
 	traceOut := flag.String("trace-out", "", "write the generated references as a text trace")
+	memMode := flag.Bool("memmodel", false, "run litmus stress programs and SC-check their histories")
+	litmus := flag.String("litmus", "all", "litmus test name for -memmodel (all = whole suite)")
+	seeds := flag.Int("seeds", 8, "jitter seeds per litmus configuration (-memmodel)")
+	rounds := flag.Int("rounds", 4, "test instances per litmus run (-memmodel)")
 	flag.Parse()
+
+	if *memMode {
+		runMemmodel(*litmus, *n, *seeds, *rounds, *seed)
+		return
+	}
 
 	m, err := core.New(core.Config{
 		N: *n, BlockWords: *block,
@@ -100,6 +117,58 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nwrote %d-record trace to %s\n", tr.Len(), *traceOut)
+	}
+}
+
+// runMemmodel sweeps the litmus suite (or one named test) over seeds
+// jitter seeds in both home-column placements, SC-checking every
+// captured history. Any violation or undecided check exits nonzero.
+func runMemmodel(name string, n, seeds, rounds int, baseSeed uint64) {
+	tests := memmodel.LitmusTests()
+	if name != "all" {
+		l, ok := memmodel.LitmusByName(name)
+		if !ok {
+			fatal(fmt.Errorf("unknown litmus test %q", name))
+		}
+		tests = []memmodel.Litmus{l}
+	}
+	runs, bad := 0, 0
+	for _, l := range tests {
+		for _, same := range []bool{false, true} {
+			if same && l.Vars < 2 {
+				continue
+			}
+			placement := "split-col"
+			if same {
+				placement = "same-col"
+			}
+			var events int
+			var elapsed sim.Time
+			for s := 0; s < seeds; s++ {
+				rep, err := workload.RunLitmus(workload.LitmusConfig{
+					Test: l.Name, N: n, Rounds: rounds,
+					Seed: baseSeed + uint64(s), SameColumn: same,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				runs++
+				events = rep.History.Len()
+				elapsed = rep.Elapsed
+				if rep.Check.Verdict != memmodel.VerdictOK {
+					bad++
+					fmt.Printf("litmus %-5s %s seed %d: %v: %s\nhistory:\n%s",
+						l.Name, placement, baseSeed+uint64(s),
+						rep.Check.Verdict, rep.Check.Reason, rep.History)
+				}
+			}
+			fmt.Printf("litmus %-5s %s: %d seeds ok (%d events/run, %v simulated)\n",
+				l.Name, placement, seeds, events, elapsed)
+		}
+	}
+	fmt.Printf("\nmemmodel: %d runs on %d×%d machines, %d SC failures\n", runs, n, n, bad)
+	if bad > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,53 @@
+package core
+
+import "multicube/internal/memmodel"
+
+// MemoryIface is the word-level asynchronous memory interface a program
+// drives: the subset of Processor that reads and writes observable
+// values. Both Processor and RecordingMem implement it, so a workload
+// can be run bare or under history capture without changing its code.
+type MemoryIface interface {
+	LoadAsync(addr Addr, done func(uint64))
+	StoreAsyncObs(addr Addr, value uint64, done func(old uint64))
+}
+
+// RecordingMem wraps a MemoryIface and appends every completed load and
+// store to a memmodel.History, tagged with the wrapped processor's id.
+// Events are appended inside the completion callbacks, which run on the
+// single-threaded simulation kernel, so the history's order is the
+// machine's completion order — exactly the observation order the
+// sequential-consistency checker expects.
+//
+// Addresses are recorded as word addresses, so two words in one cache
+// line are distinct memory-model locations (the protocol keeps the line
+// coherent; the checker reasons per word).
+type RecordingMem struct {
+	P    MemoryIface
+	Proc int
+	H    *memmodel.History
+}
+
+var _ MemoryIface = (*RecordingMem)(nil)
+
+// Recorder wraps processor p of machine m so its operations record into h.
+func Recorder(m *Machine, p int, h *memmodel.History) *RecordingMem {
+	return &RecordingMem{P: m.Processor(p), Proc: p, H: h}
+}
+
+// LoadAsync reads through to the wrapped interface and records the
+// observed value on completion.
+func (r *RecordingMem) LoadAsync(addr Addr, done func(uint64)) {
+	r.P.LoadAsync(addr, func(v uint64) {
+		r.H.Read(r.Proc, uint64(addr), v)
+		done(v)
+	})
+}
+
+// StoreAsyncObs writes through to the wrapped interface and records the
+// store — with its coherent predecessor value — on completion.
+func (r *RecordingMem) StoreAsyncObs(addr Addr, value uint64, done func(old uint64)) {
+	r.P.StoreAsyncObs(addr, value, func(old uint64) {
+		r.H.Write(r.Proc, uint64(addr), old, value)
+		done(old)
+	})
+}

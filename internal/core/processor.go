@@ -77,6 +77,15 @@ func (p *Processor) LoadAsync(addr Addr, done func(uint64)) {
 // StoreAsync writes value to addr, invoking done when the line is held
 // modified and the word updated. The processor cache is written through.
 func (p *Processor) StoreAsync(addr Addr, value uint64, done func()) {
+	p.StoreAsyncObs(addr, value, func(uint64) { done() })
+}
+
+// StoreAsyncObs is StoreAsync reporting the word's previous value to
+// done. The old value is read with the line already held modified, so it
+// is the coherent predecessor of this store in the word's write order —
+// which is exactly what a memory-model history recorder needs to chain
+// writes without searching.
+func (p *Processor) StoreAsyncObs(addr Addr, value uint64, done func(old uint64)) {
 	p.stores++
 	line, off := p.m.LineOf(addr)
 	p.node.Write(line, func(coherence.Result) {
@@ -84,11 +93,12 @@ func (p *Processor) StoreAsync(addr Addr, value uint64, done func()) {
 		if e == nil {
 			panic("core: line missing immediately after write completion")
 		}
+		old := e.Data[off]
 		e.Data[off] = value
 		if p.l1 != nil {
 			p.l1.WriteThrough(line, off, value)
 		}
-		done()
+		done(old)
 	})
 }
 

@@ -13,8 +13,9 @@ import (
 // Violation is one safety failure, with the choice sequence that
 // reproduces it from the initial state (replay with Replay).
 type Violation struct {
-	// Kind classifies the failure: "invariant", "sc", "deadlock",
-	// "livelock", "stray-reply", "protocol".
+	// Kind classifies the failure: "invariant", "sc" (per-address
+	// coherence), "sc-total" (cross-address sequential consistency),
+	// "deadlock", "livelock", "stray-reply", "protocol".
 	Kind string
 	Msg  string
 	// Choices is the choice sequence reproducing the violation; all
@@ -66,6 +67,11 @@ type Options struct {
 	DisableSleep bool
 	// NoMinimize skips counterexample shrinking.
 	NoMinimize bool
+	// SCNodes caps the per-execution sequential-consistency search (the
+	// memmodel node budget) for scenarios with CheckSC set; zero means
+	// memmodel's default. Executions whose search exhausts the budget
+	// count as undecided (Result.SCUndecided) rather than failing.
+	SCNodes int
 	// CheckFP enables the incremental-fingerprint debug cross-check: at
 	// every choice point the canonical fingerprint is recomputed from
 	// scratch with a fresh cache and compared against the incremental
@@ -123,7 +129,18 @@ type Result struct {
 	// explorers and are not included). Zero under legacyFP.
 	FPRecomputes  uint64
 	FPIncremental uint64
-	Violation     *Violation
+	// SCChecks counts completed executions whose history was checked for
+	// full sequential consistency (scenarios with CheckSC set; zero
+	// otherwise), and SCUndecided how many of those searches gave up on
+	// the node budget. Like the FP counters, minimization replays and a
+	// parallel pass's sequential re-derivation are not included.
+	SCChecks    uint64
+	SCUndecided uint64
+	// SCVerdict summarizes the cross-address checks: "" when the scenario
+	// does not request them, else "ok", "undecided" (some search hit the
+	// node budget), or "violation" (the reported Violation is "sc-total").
+	SCVerdict string
+	Violation *Violation
 }
 
 // checker is one from-scratch execution of a scenario on some machine —
@@ -144,6 +161,9 @@ type checker interface {
 	// fpStats reports this execution's incremental-fingerprint counters
 	// (component recomputes, cache hits).
 	fpStats() (recomputes, incremental uint64)
+	// scStats reports this execution's sequential-consistency checks and
+	// how many were cut by the node budget (zero unless Scenario.CheckSC).
+	scStats() (checks, undecided uint64)
 	// release returns pooled fingerprint state to sh for the next run.
 	release()
 }
@@ -456,6 +476,8 @@ type explorer struct {
 	budget  atomic.Bool
 	fpRec   atomic.Uint64
 	fpInc   atomic.Uint64
+	scRuns  atomic.Uint64
+	scUndec atomic.Uint64
 }
 
 func newExplorer(sc *Scenario, opts Options) *explorer {
@@ -527,6 +549,9 @@ func (e *explorer) execute(ck checker, ch *mcChooser, prefixLen int, track bool)
 	rec, inc := ck.fpStats()
 	e.fpRec.Add(rec)
 	e.fpInc.Add(inc)
+	scc, scu := ck.scStats()
+	e.scRuns.Add(scc)
+	e.scUndec.Add(scu)
 	ck.release()
 	return out
 }
@@ -729,6 +754,18 @@ func exploreBounded(sc *Scenario, opts Options) Result {
 		res.BudgetHit = e.budget.Load()
 		res.FPRecomputes = e.fpRec.Load()
 		res.FPIncremental = e.fpInc.Load()
+		res.SCChecks = e.scRuns.Load()
+		res.SCUndecided = e.scUndec.Load()
+		if sc.CheckSC {
+			switch {
+			case p.violation != nil && p.violation.Kind == "sc-total":
+				res.SCVerdict = "violation"
+			case res.SCUndecided > 0:
+				res.SCVerdict = "undecided"
+			default:
+				res.SCVerdict = "ok"
+			}
+		}
 		if p.violation != nil {
 			v := p.violation
 			if opts.Workers <= 1 && !opts.NoMinimize {

@@ -33,6 +33,10 @@ type instance struct {
 	held      [][]uint64 // sorted held lock lines per processor
 	wit       *witness
 
+	// Cross-address SC check counters (Scenario.CheckSC only).
+	scChecks    uint64
+	scUndecided uint64
+
 	// Incremental fingerprint state: the pooled machine-component cache,
 	// plus per-processor driver hashes behind dirty flags.
 	fpc      *coherence.FPCache
@@ -369,6 +373,16 @@ func (in *instance) quiescenceCheck() *Violation {
 	if v := in.wit.check(); v != nil {
 		return v
 	}
+	if in.sc.CheckSC {
+		in.scChecks++
+		v, undecided := in.wit.checkSC(in.sh.scNodes)
+		if undecided {
+			in.scUndecided++
+		}
+		if v != nil {
+			return v
+		}
+	}
 	return nil
 }
 
@@ -567,6 +581,10 @@ func (in *instance) driverFP(perm []int) uint64 {
 func (in *instance) fpStats() (recomputes, incremental uint64) {
 	r, u := in.fpc.Stats()
 	return r + in.drvRec, u + in.drvInc
+}
+
+func (in *instance) scStats() (checks, undecided uint64) {
+	return in.scChecks, in.scUndecided
 }
 
 // release returns pooled resources; the instance must not fingerprint

@@ -1,0 +1,80 @@
+package mc
+
+import (
+	"strings"
+
+	"multicube/internal/memmodel"
+	"multicube/internal/topology"
+)
+
+// The litmus-* presets compile memmodel's litmus library to bounded
+// Multicube scenarios with CheckSC set, so exploring one checks EVERY
+// reachable interleaving's history for full sequential consistency —
+// which subsumes checking the test's classic forbidden outcome.
+//
+// Each multi-variable test comes in two placements, because on the
+// Multicube the interesting orderings run through the variables' home
+// columns (on a 2×2 grid, line L is homed on column L%2):
+//
+//   - litmus-<name>:      variable v on line v — different home columns,
+//     so invalidations and replies for x and y cross independent buses.
+//   - litmus-<name>-1col: variable v on line 2v — one shared home
+//     column, serializing both variables' memory traffic.
+//
+// Single-variable tests (corr, coww) have nothing to place apart and get
+// one preset each.
+
+const litmusSameColSuffix = "-1col"
+
+// litmusCoords spreads litmus threads over the 2×2 grid so no two share
+// a row or column bus where avoidable: the classic two-thread tests run
+// corner-to-corner.
+var litmusCoords = []topology.Coord{
+	{Row: 0, Col: 0}, {Row: 1, Col: 1}, {Row: 0, Col: 1}, {Row: 1, Col: 0},
+}
+
+// litmusPresetNames lists the litmus-* preset names, in the library's
+// stable order.
+func litmusPresetNames() []string {
+	var out []string
+	for _, l := range memmodel.LitmusTests() {
+		out = append(out, "litmus-"+l.Name)
+		if l.Vars >= 2 {
+			out = append(out, "litmus-"+l.Name+litmusSameColSuffix)
+		}
+	}
+	return out
+}
+
+// litmusPreset compiles the named litmus-* preset; ok is false when the
+// name is not a litmus preset.
+func litmusPreset(name string) (Scenario, bool) {
+	base, ok := strings.CutPrefix(name, "litmus-")
+	if !ok {
+		return Scenario{}, false
+	}
+	base, sameCol := strings.CutSuffix(base, litmusSameColSuffix)
+	l, ok := memmodel.LitmusByName(base)
+	if !ok || len(l.Procs) > len(litmusCoords) || (sameCol && l.Vars < 2) {
+		return Scenario{}, false
+	}
+	line := func(v int) uint64 {
+		if sameCol {
+			return uint64(2 * v)
+		}
+		return uint64(v)
+	}
+	sc := Scenario{Name: name, N: 2, CheckSC: true}
+	for p, prog := range l.Procs {
+		pr := Proc{At: litmusCoords[p]}
+		for _, op := range prog {
+			kind := OpRead
+			if op.Write {
+				kind = OpWrite
+			}
+			pr.Ops = append(pr.Ops, ProcOp{Kind: kind, Line: line(op.Var)})
+		}
+		sc.Procs = append(sc.Procs, pr)
+	}
+	return sc, true
+}

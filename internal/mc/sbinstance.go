@@ -25,6 +25,10 @@ type sbInstance struct {
 	completed int
 	wit       *witness
 
+	// Cross-address SC check counters (Scenario.CheckSC only).
+	scChecks    uint64
+	scUndecided uint64
+
 	// Incremental fingerprint state, mirroring instance.
 	fpc      *singlebus.FPCache
 	drvH     []uint64
@@ -176,6 +180,16 @@ func (in *sbInstance) quiescenceCheck() *Violation {
 	if v := in.wit.check(); v != nil {
 		return v
 	}
+	if in.sc.CheckSC {
+		in.scChecks++
+		v, undecided := in.wit.checkSC(in.sh.scNodes)
+		if undecided {
+			in.scUndecided++
+		}
+		if v != nil {
+			return v
+		}
+	}
 	return nil
 }
 
@@ -317,6 +331,10 @@ func (in *sbInstance) driverFP(perm []int) uint64 {
 func (in *sbInstance) fpStats() (recomputes, incremental uint64) {
 	r, u := in.fpc.Stats()
 	return r + in.drvRec, u + in.drvInc
+}
+
+func (in *sbInstance) scStats() (checks, undecided uint64) {
+	return in.scChecks, in.scUndecided
 }
 
 func (in *sbInstance) release() {

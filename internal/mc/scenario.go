@@ -101,7 +101,16 @@ type Scenario struct {
 	// ignored), only OpRead and OpWrite are meaningful, and the same
 	// explorer, oracles, and sequential-consistency witness apply.
 	SingleBus bool
-	Procs     []Proc
+	// CheckSC additionally checks every completed execution's history for
+	// full cross-address sequential consistency (internal/memmodel's
+	// witness-order search), not just per-address coherence. Opt-in
+	// because the Multicube's untimed interpretation genuinely admits
+	// non-SC executions across addresses — a delayed row purge can leave
+	// a stale Shared copy readable after a later line's value was
+	// observed (see the stale-shared-mp preset) — so unconditional
+	// checking would fail arbitrary scenarios by design, not by bug.
+	CheckSC bool
+	Procs   []Proc
 }
 
 func (s *Scenario) fillDefaults() {
@@ -158,11 +167,12 @@ func (s *Scenario) Validate() error {
 
 // Presets returns the built-in scenario names.
 func Presets() []string {
-	return []string{
+	names := []string{
 		"readmod-race", "read-race", "sync-race", "mlt-overflow-lock",
 		"readmod-race-3x3", "mlt-churn-3x3", "sb-writeonce-race",
-		"sb-victim-race",
+		"sb-victim-race", "stale-shared-mp",
 	}
+	return append(names, litmusPresetNames()...)
 }
 
 // Preset returns a built-in bounded scenario by name.
@@ -283,7 +293,34 @@ func Preset(name string) (Scenario, error) {
 				{Ops: []ProcOp{{OpRead, 1}}},
 			},
 		}, nil
+	case "stale-shared-mp":
+		// The real cross-address SC window of the untimed interpretation:
+		// the reader's first read of line 1 caches a Shared copy; the
+		// writer's READMOD purge for that copy travels via line 1's home
+		// column and is re-broadcast on the reader's row by node (0,1) as
+		// a separate delayed bus operation. Placement is what opens the
+		// window: the writer sits at (1,0), on line 2's home column and on
+		// the READER's column, so its ownership reply for line 2 reaches
+		// the reader directly over column 0 — never passing through
+		// (0,1)'s row-bus source FIFO, which would have forced the line-1
+		// purge out first. The reader thus observes the writer's LATER
+		// write to line 2 and then still hits its stale Shared copy of
+		// line 1 — an MP-shaped violation no single total order explains.
+		// (With the writer at (1,1) instead, every line-2 reply funnels
+		// through (0,1) behind the queued purge and the window provably
+		// never opens.) Per-address coherence holds throughout; only the
+		// CheckSC search catches it.
+		return Scenario{
+			Name: name, N: 2, CheckSC: true,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpRead, 1}, {OpRead, 2}, {OpRead, 1}}},
+				{At: c(1, 0), Ops: []ProcOp{{OpWrite, 1}, {OpWrite, 2}}},
+			},
+		}, nil
 	default:
+		if sc, ok := litmusPreset(name); ok {
+			return sc, nil
+		}
 		return Scenario{}, fmt.Errorf("mc: unknown preset %q (have %v)", name, Presets())
 	}
 }

@@ -32,12 +32,16 @@ type shared struct {
 
 	legacyFP bool
 	checkFP  bool
+	// scNodes is the per-execution node budget for cross-address
+	// sequential-consistency searches (Options.SCNodes; zero = memmodel's
+	// default). Consulted only when the scenario sets CheckSC.
+	scNodes int
 
 	pool sync.Pool // *coherence.FPCache or *singlebus.FPCache (never mixed)
 }
 
 func newShared(sc *Scenario, opts *Options) *shared {
-	sh := &shared{legacyFP: opts.legacyFP, checkFP: opts.CheckFP}
+	sh := &shared{legacyFP: opts.legacyFP, checkFP: opts.CheckFP, scNodes: opts.SCNodes}
 	n := sc.N
 	if sc.SingleBus {
 		n = len(sc.Procs)

@@ -1,35 +1,25 @@
 package mc
 
-import "fmt"
+import "multicube/internal/memmodel"
 
-// The sequential-consistency witness checks per-address coherence (the
-// property every cache-coherence protocol must provide): for each line,
-// all writes form a single total order, and each processor's reads and
-// writes of that line observe non-decreasing positions in it.
+// The sequential-consistency witness records each execution's completed
+// reads and writes into a memmodel.History and delegates the checking:
+// check runs the per-address coherence oracle (the property every
+// cache-coherence protocol must provide) after every execution, and
+// checkSC runs the full cross-address sequential-consistency search when
+// the scenario opts in with Scenario.CheckSC.
 //
-// Every OpWrite stores a unique value and records the value it
-// overwrote, so the write order is recovered as a chain rooted at the
-// initial value 0: each write's predecessor is the value it observed.
-// Two writes observing the same predecessor is a lost update; a read
-// observing a value no write produced is data corruption; a processor
-// observing positions out of order saw the line travel back in time.
+// Every OpWrite stores a unique nonzero value and records the value it
+// overwrote, which is exactly the History format memmodel wants: each
+// address's write order is recovered from the old-value chains without
+// searching.
 //
 // Lines touched by lock operations (OpTAS, OpSync, OpUnlock) or by
 // OpAllocate (a blind write that observes no predecessor) are excluded.
 
-type witEvent struct {
-	proc int
-	line uint64
-	// write is true for a write of val overwriting old; false for a
-	// read observing val.
-	write bool
-	val   uint64
-	old   uint64
-}
-
 type witness struct {
 	tracked map[uint64]bool
-	events  []witEvent
+	hist    memmodel.History
 }
 
 func newWitness(sc *Scenario) *witness {
@@ -51,95 +41,39 @@ func newWitness(sc *Scenario) *witness {
 
 func (w *witness) write(proc int, line, old, val uint64) {
 	if w.tracked[line] {
-		w.events = append(w.events, witEvent{proc: proc, line: line, write: true, val: val, old: old})
+		w.hist.Write(proc, line, old, val)
 	}
 }
 
 func (w *witness) read(proc int, line, val uint64) {
 	if w.tracked[line] {
-		w.events = append(w.events, witEvent{proc: proc, line: line, val: val})
+		w.hist.Read(proc, line, val)
 	}
 }
 
 // check validates the recorded history; it returns nil when the history
 // is per-address sequentially consistent.
 func (w *witness) check() *Violation {
-	viol := func(format string, args ...any) *Violation {
-		return &Violation{Kind: "sc", Msg: fmt.Sprintf(format, args...)}
-	}
-	// Chain the writes per line: successor[old value] = new value.
-	type link struct {
-		val  uint64
-		proc int
-	}
-	succ := make(map[uint64]map[uint64]link) // line -> old -> next
-	for _, e := range w.events {
-		if !e.write {
-			continue
-		}
-		m := succ[e.line]
-		if m == nil {
-			m = make(map[uint64]link)
-			succ[e.line] = m
-		}
-		if prev, ok := m[e.old]; ok {
-			return viol("line %d: lost update — writes %d (proc %d) and %d (proc %d) both overwrote value %d",
-				e.line, prev.val, prev.proc, e.val, e.proc, e.old)
-		}
-		m[e.old] = link{val: e.val, proc: e.proc}
-	}
-	// Walk each chain from the initial value 0 to assign positions.
-	pos := make(map[uint64]map[uint64]int) // line -> value -> position
-	for line, m := range succ {
-		p := map[uint64]int{0: 0}
-		v, i := uint64(0), 0
-		for {
-			nxt, ok := m[v]
-			if !ok {
-				break
-			}
-			i++
-			p[nxt.val] = i
-			v = nxt.val
-		}
-		if len(p) != len(m)+1 {
-			// Some write's predecessor is neither 0 nor another write:
-			// it observed a value that never existed.
-			for old, nxt := range m {
-				if _, ok := p[old]; !ok {
-					return viol("line %d: write %d (proc %d) overwrote value %d, which no write produced",
-						line, nxt.val, nxt.proc, old)
-				}
-			}
-		}
-		pos[line] = p
-	}
-	// Per-processor monotonicity over each line's chain.
-	type key struct {
-		proc int
-		line uint64
-	}
-	last := make(map[key]int)
-	for _, e := range w.events {
-		p := pos[e.line]
-		if p == nil {
-			p = map[uint64]int{0: 0}
-		}
-		i, ok := p[e.val]
-		if !ok {
-			return viol("line %d: proc %d read value %d, which no write produced", e.line, e.proc, e.val)
-		}
-		k := key{proc: e.proc, line: e.line}
-		if prev, seen := last[k]; seen {
-			if e.write && i <= prev {
-				return viol("line %d: proc %d wrote position %d after observing position %d", e.line, e.proc, i, prev)
-			}
-			if !e.write && i < prev {
-				return viol("line %d: proc %d read position %d (value %d) after observing position %d — the line traveled back in time",
-					e.line, e.proc, i, e.val, prev)
-			}
-		}
-		last[k] = i
+	if err := w.hist.CheckCoherence(); err != nil {
+		return &Violation{Kind: "sc", Msg: err.Error()}
 	}
 	return nil
+}
+
+// checkSC searches for a witness total order over ALL recorded events —
+// full sequential consistency, not just per-address coherence. It
+// returns a "sc-total" violation when no such order exists, and reports
+// undecided=true when the node budget ran out before the search could
+// conclude either way. Call it only after check() has passed: the
+// sharper per-address diagnostics take precedence.
+func (w *witness) checkSC(maxNodes int) (v *Violation, undecided bool) {
+	res := memmodel.Check(&w.hist, memmodel.Options{MaxNodes: maxNodes})
+	switch res.Verdict {
+	case memmodel.VerdictViolation:
+		return &Violation{Kind: "sc-total", Msg: res.Reason}, false
+	case memmodel.VerdictUndecided:
+		return nil, true
+	default:
+		return nil, false
+	}
 }

@@ -1,0 +1,49 @@
+package memmodel
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSCCheck measures the SC checker on litmus-sized histories
+// (the shapes mc checks after every explored execution) and on the
+// larger histories the DES litmus sweeps produce.
+func BenchmarkSCCheck(b *testing.B) {
+	const x, y = 10, 20
+	litmus := map[string]*History{
+		"sb": hb(
+			w(0, x, 0, 1), r(0, y, 2),
+			w(1, y, 0, 2), r(1, x, 1),
+		),
+		"iriw": hb(
+			w(0, x, 0, 1),
+			w(1, y, 0, 2),
+			r(2, x, 1), r(2, y, 0),
+			r(3, y, 2), r(3, x, 1),
+		),
+	}
+	for name, h := range litmus {
+		b.Run("litmus/"+name, func(b *testing.B) {
+			benchCheck(b, h)
+		})
+	}
+	for _, size := range []int{50, 100, 200} {
+		rng := &splitmix{s: 0xbe0c + uint64(size)}
+		h := buildSC(rng, 5, 4, size)
+		b.Run(fmt.Sprintf("generated/n%d", size), func(b *testing.B) {
+			benchCheck(b, h)
+		})
+	}
+}
+
+func benchCheck(b *testing.B, h *History) {
+	res := Check(h, Options{})
+	if res.Verdict != VerdictOK {
+		b.Fatalf("benchmark history not SC: %s (%s)", res.Verdict, res.Reason)
+	}
+	b.ReportMetric(float64(res.Nodes), "nodes/check")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Check(h, Options{})
+	}
+}

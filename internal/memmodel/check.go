@@ -1,0 +1,220 @@
+package memmodel
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Verdict is the outcome of a sequential-consistency check.
+type Verdict uint8
+
+const (
+	// VerdictOK: a witness total order exists; the history is
+	// sequentially consistent.
+	VerdictOK Verdict = iota
+	// VerdictViolation: no witness total order exists (or per-address
+	// coherence already fails); the history is provably not
+	// sequentially consistent.
+	VerdictViolation
+	// VerdictUndecided: the node budget was exhausted before the search
+	// either found a witness or ruled one out.
+	VerdictUndecided
+)
+
+var verdictNames = [...]string{"OK", "violation", "undecided"}
+
+func (v Verdict) String() string {
+	if int(v) < len(verdictNames) {
+		return verdictNames[v]
+	}
+	return fmt.Sprintf("Verdict(%d)", uint8(v))
+}
+
+// Options bound a sequential-consistency check.
+type Options struct {
+	// MaxNodes caps the number of search states the backtracking
+	// interleaving search may expand before giving up with
+	// VerdictUndecided. Zero means the default of 1<<20. The memoized
+	// state space is bounded by the product over processors of
+	// (program length + 1), so litmus-sized histories exhaust in tens
+	// of nodes and even multi-hundred-event histories stay far below
+	// the default.
+	MaxNodes int
+}
+
+func (o *Options) fillDefaults() {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 1 << 20
+	}
+}
+
+// Result reports a sequential-consistency check.
+type Result struct {
+	Verdict Verdict
+	// Reason describes the violation (empty for OK/undecided).
+	Reason string
+	// Nodes is the number of search states expanded.
+	Nodes int
+	// Order, for VerdictOK, is a witness: indices into the history's
+	// Events() forming a total order under which every read returns the
+	// most recent write to its address (nil for the empty history).
+	Order []int
+}
+
+// Check decides whether the history is sequentially consistent: whether
+// a single total order of all events exists that respects each
+// processor's program order and in which every read of an address
+// returns the value of the most recent preceding write to it (or the
+// initial value 0). Per-address coherence is checked first — it is
+// cheap, its failures carry sharper diagnostics, and it pins each
+// address's write order so the cross-address search only has to order
+// events *between* addresses.
+//
+// The search walks frontiers (one next-event index per processor) with
+// reads-from and write-order constraint propagation deciding which
+// events are enabled, memoizing visited frontiers so each is expanded
+// at most once. It is exact within the node budget: VerdictOK and
+// VerdictViolation are proofs, VerdictUndecided means the budget ran
+// out first.
+func Check(h *History, opts Options) Result {
+	opts.fillDefaults()
+	pos, err := h.writeOrders()
+	if err != nil {
+		return Result{Verdict: VerdictViolation, Reason: err.Error()}
+	}
+	if len(h.events) == 0 {
+		return Result{Verdict: VerdictOK}
+	}
+
+	s := newSCSearch(h, pos, opts.MaxNodes)
+	switch found, cut := s.dfs(); {
+	case found:
+		return Result{Verdict: VerdictOK, Nodes: s.nodes, Order: s.order}
+	case cut:
+		return Result{Verdict: VerdictUndecided, Nodes: s.nodes}
+	default:
+		return Result{
+			Verdict: VerdictViolation,
+			Reason: fmt.Sprintf("no sequentially consistent total order exists over the %d events (%d frontiers searched)",
+				len(h.events), s.nodes),
+			Nodes: s.nodes,
+		}
+	}
+}
+
+// scSearch is one backtracking interleaving search. The state is the
+// frontier vector idx (next unplaced event per processor); the number
+// of writes placed per address is a pure function of the frontier, so
+// memoizing frontiers loses nothing.
+type scSearch struct {
+	perProc [][]int // event indices per processor, program order
+	// need is, per event, the precomputed enabling condition on its
+	// address's placed-write count: a read of a value at position p
+	// needs exactly p writes placed (it must follow write p and precede
+	// write p+1); the write producing position p needs exactly p-1.
+	need    []int
+	isWrite []bool
+	addrID  []int // dense address ids
+
+	idx    []int
+	placed []int
+	order  []int
+	nodes  int
+	max    int
+
+	visited map[string]struct{}
+	key     []byte
+}
+
+func newSCSearch(h *History, pos map[uint64]map[uint64]int, maxNodes int) *scSearch {
+	n := len(h.events)
+	s := &scSearch{
+		need:    make([]int, n),
+		isWrite: make([]bool, n),
+		addrID:  make([]int, n),
+		max:     maxNodes,
+		visited: make(map[string]struct{}),
+	}
+	dense := make(map[uint64]int)
+	nproc := h.Procs()
+	s.perProc = make([][]int, nproc)
+	for i, e := range h.events {
+		id, ok := dense[e.Addr]
+		if !ok {
+			id = len(dense)
+			dense[e.Addr] = id
+		}
+		s.addrID[i] = id
+		s.isWrite[i] = e.Write
+		p := 0
+		if m := pos[e.Addr]; m != nil {
+			p = m[e.Value] // writeOrders proved membership
+		}
+		if e.Write {
+			s.need[i] = p - 1
+		} else {
+			s.need[i] = p
+		}
+		s.perProc[e.Proc] = append(s.perProc[e.Proc], i)
+	}
+	s.idx = make([]int, nproc)
+	s.placed = make([]int, len(dense))
+	s.order = make([]int, 0, n)
+	s.key = make([]byte, 2*nproc)
+	return s
+}
+
+// dfs explores from the current frontier. It returns (found, cut):
+// found means a complete witness order is in s.order; cut means the
+// node budget fired somewhere below, so a false result is not a proof.
+func (s *scSearch) dfs() (bool, bool) {
+	if len(s.order) == len(s.need) {
+		return true, false
+	}
+	// Encode the frontier; bail if an earlier branch already explored it.
+	k := s.frontierKey()
+	if _, ok := s.visited[k]; ok {
+		return false, false
+	}
+	s.visited[k] = struct{}{}
+	if s.nodes++; s.nodes > s.max {
+		return false, true
+	}
+	cut := false
+	for p := range s.perProc {
+		ids := s.perProc[p]
+		if s.idx[p] >= len(ids) {
+			continue
+		}
+		ev := ids[s.idx[p]]
+		if s.placed[s.addrID[ev]] != s.need[ev] {
+			continue
+		}
+		// Place the event and recurse.
+		s.idx[p]++
+		if s.isWrite[ev] {
+			s.placed[s.addrID[ev]]++
+		}
+		s.order = append(s.order, ev)
+		found, c := s.dfs()
+		if found {
+			return true, false
+		}
+		cut = cut || c
+		s.order = s.order[:len(s.order)-1]
+		if s.isWrite[ev] {
+			s.placed[s.addrID[ev]]--
+		}
+		s.idx[p]--
+	}
+	return false, cut
+}
+
+func (s *scSearch) frontierKey() string {
+	b := s.key[:0]
+	for _, i := range s.idx {
+		b = binary.LittleEndian.AppendUint16(b, uint16(i))
+	}
+	s.key = b
+	return string(b)
+}

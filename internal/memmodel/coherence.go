@@ -1,0 +1,127 @@
+package memmodel
+
+import "fmt"
+
+// Per-address coherence is the property every cache-coherence protocol
+// must provide: for each address, all writes form a single total order,
+// and each processor's reads and writes of that address observe
+// non-decreasing positions in it.
+//
+// Every write stores a unique value and records the value it overwrote,
+// so the write order is recovered as a chain rooted at the initial value
+// 0: each write's predecessor is the value it observed. Two writes
+// observing the same predecessor is a lost update; a read observing a
+// value no write produced is data corruption; a processor observing
+// positions out of order saw the address travel back in time.
+//
+// The message wording below is stable: internal/mc has reported these
+// exact strings since its witness was introduced, and its counterexample
+// regression tests depend on them.
+
+// CheckCoherence validates per-address coherence; it returns nil when
+// every address's history is coherent, else an error describing the
+// first violation found.
+func (h *History) CheckCoherence() error {
+	_, err := h.writeOrders()
+	return err
+}
+
+// writeOrders recovers each address's total write order from the
+// old-value chains and validates per-processor monotonicity over it. It
+// returns, per address, the position of every value in that order (the
+// initial value 0 has position 0). Addresses nobody wrote are absent;
+// reads of them must observe 0.
+func (h *History) writeOrders() (map[uint64]map[uint64]int, error) {
+	// Chain the writes per address: successor[old value] = new value.
+	type link struct {
+		val  uint64
+		proc int
+	}
+	succ := make(map[uint64]map[uint64]link) // addr -> old -> next
+	written := make(map[uint64]map[uint64]bool)
+	for _, e := range h.events {
+		if !e.Write {
+			continue
+		}
+		// Malformed-history guards (the capture adapters never produce
+		// these, but hand-written and fuzzed histories can): value 0 is
+		// reserved for initial memory, and a duplicated value would turn
+		// the chain walk below into a cycle.
+		if e.Value == 0 {
+			return nil, fmt.Errorf("line %d: proc %d wrote the reserved initial value 0", e.Addr, e.Proc)
+		}
+		w := written[e.Addr]
+		if w == nil {
+			w = make(map[uint64]bool)
+			written[e.Addr] = w
+		}
+		if w[e.Value] {
+			return nil, fmt.Errorf("line %d: two writes stored the same value %d", e.Addr, e.Value)
+		}
+		w[e.Value] = true
+		m := succ[e.Addr]
+		if m == nil {
+			m = make(map[uint64]link)
+			succ[e.Addr] = m
+		}
+		if prev, ok := m[e.Old]; ok {
+			return nil, fmt.Errorf("line %d: lost update — writes %d (proc %d) and %d (proc %d) both overwrote value %d",
+				e.Addr, prev.val, prev.proc, e.Value, e.Proc, e.Old)
+		}
+		m[e.Old] = link{val: e.Value, proc: e.Proc}
+	}
+	// Walk each chain from the initial value 0 to assign positions.
+	pos := make(map[uint64]map[uint64]int) // addr -> value -> position
+	for addr, m := range succ {
+		p := map[uint64]int{0: 0}
+		v, i := uint64(0), 0
+		for {
+			nxt, ok := m[v]
+			if !ok {
+				break
+			}
+			i++
+			p[nxt.val] = i
+			v = nxt.val
+		}
+		if len(p) != len(m)+1 {
+			// Some write's predecessor is neither 0 nor another write:
+			// it observed a value that never existed.
+			for old, nxt := range m {
+				if _, ok := p[old]; !ok {
+					return nil, fmt.Errorf("line %d: write %d (proc %d) overwrote value %d, which no write produced",
+						addr, nxt.val, nxt.proc, old)
+				}
+			}
+		}
+		pos[addr] = p
+	}
+	// Per-processor monotonicity over each address's chain.
+	type key struct {
+		proc int
+		addr uint64
+	}
+	last := make(map[key]int)
+	for _, e := range h.events {
+		p := pos[e.Addr]
+		if p == nil {
+			p = map[uint64]int{0: 0}
+		}
+		i, ok := p[e.Value]
+		if !ok {
+			return nil, fmt.Errorf("line %d: proc %d read value %d, which no write produced", e.Addr, e.Proc, e.Value)
+		}
+		k := key{proc: e.Proc, addr: e.Addr}
+		if prev, seen := last[k]; seen {
+			if e.Write && i <= prev {
+				return nil, fmt.Errorf("line %d: proc %d wrote position %d after observing position %d", e.Addr, e.Proc, i, prev)
+			}
+			if !e.Write && i < prev {
+				return nil, fmt.Errorf("line %d: proc %d read position %d (value %d) after observing position %d — the line traveled back in time",
+					e.Addr, e.Proc, i, e.Value, prev)
+			}
+		}
+		last[k] = i
+	}
+	return pos, nil
+}

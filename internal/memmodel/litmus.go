@@ -1,0 +1,131 @@
+package memmodel
+
+// The classic litmus tests, expressed once over abstract variables.
+// Drivers compile them to real machines: internal/mc turns each into a
+// bounded model-checking scenario (exploring EVERY interleaving and
+// checking every completed history for sequential consistency, which
+// subsumes checking the test's forbidden outcome), and internal/workload
+// turns each into a timed DES stress program whose captured history the
+// checker judges per seed.
+//
+// Write values in the abstract tests are symbolic; drivers substitute
+// machine-unique nonzero values, which preserves every ordering property
+// the tests probe.
+
+// LitmusOp is one step of a litmus-test thread.
+type LitmusOp struct {
+	// Write selects a store of a fresh value to Var; otherwise the op is
+	// a load of Var.
+	Write bool
+	// Var is the abstract variable index (0 = x, 1 = y, ...).
+	Var int
+}
+
+// Litmus is one litmus test: a handful of threads, each a short
+// straight-line program over a few shared variables, probing one classic
+// reordering that sequential consistency forbids.
+type Litmus struct {
+	Name string
+	// Doc states the shape and the outcome SC forbids.
+	Doc string
+	// Vars is the number of distinct shared variables.
+	Vars int
+	// Procs holds one program per thread.
+	Procs [][]LitmusOp
+}
+
+// TotalOps returns the summed program length.
+func (l Litmus) TotalOps() int {
+	n := 0
+	for _, p := range l.Procs {
+		n += len(p)
+	}
+	return n
+}
+
+func lr(v int) LitmusOp { return LitmusOp{Var: v} }
+func lw(v int) LitmusOp { return LitmusOp{Write: true, Var: v} }
+
+// LitmusTests returns the built-in litmus suite. The order is stable;
+// names are lower-case and unique.
+func LitmusTests() []Litmus {
+	const x, y = 0, 1
+	return []Litmus{
+		{
+			Name: "sb",
+			Doc:  "store buffering (Dekker): P0: Wx;Ry  P1: Wy;Rx — SC forbids both reads returning the initial value",
+			Vars: 2,
+			Procs: [][]LitmusOp{
+				{lw(x), lr(y)},
+				{lw(y), lr(x)},
+			},
+		},
+		{
+			Name: "mp",
+			Doc:  "message passing: P0: Wx;Wy  P1: Ry;Rx — SC forbids seeing the flag (y) but not the data (x)",
+			Vars: 2,
+			Procs: [][]LitmusOp{
+				{lw(x), lw(y)},
+				{lr(y), lr(x)},
+			},
+		},
+		{
+			Name: "lb",
+			Doc:  "load buffering: P0: Rx;Wy  P1: Ry;Wx — SC forbids both loads observing the other thread's later store",
+			Vars: 2,
+			Procs: [][]LitmusOp{
+				{lr(x), lw(y)},
+				{lr(y), lw(x)},
+			},
+		},
+		{
+			Name: "wrc",
+			Doc:  "write-to-read causality: P0: Wx  P1: Rx;Wy  P2: Ry;Rx — SC forbids P2 seeing y but stale x after P1 saw x",
+			Vars: 2,
+			Procs: [][]LitmusOp{
+				{lw(x)},
+				{lr(x), lw(y)},
+				{lr(y), lr(x)},
+			},
+		},
+		{
+			Name: "iriw",
+			Doc:  "independent reads of independent writes: P0: Wx  P1: Wy  P2: Rx;Ry  P3: Ry;Rx — SC forbids the two readers disagreeing on the write order",
+			Vars: 2,
+			Procs: [][]LitmusOp{
+				{lw(x)},
+				{lw(y)},
+				{lr(x), lr(y)},
+				{lr(y), lr(x)},
+			},
+		},
+		{
+			Name: "corr",
+			Doc:  "coherent read-read: P0: Wx  P1: Rx;Rx — coherence forbids reading the new value then the old one",
+			Vars: 1,
+			Procs: [][]LitmusOp{
+				{lw(x)},
+				{lr(x), lr(x)},
+			},
+		},
+		{
+			Name: "coww",
+			Doc:  "coherent write-write: P0: Wx;Wx  P1: Rx;Rx — coherence forbids observing the two writes out of order",
+			Vars: 1,
+			Procs: [][]LitmusOp{
+				{lw(x), lw(x)},
+				{lr(x), lr(x)},
+			},
+		},
+	}
+}
+
+// LitmusByName returns the named test from LitmusTests.
+func LitmusByName(name string) (Litmus, bool) {
+	for _, l := range LitmusTests() {
+		if l.Name == name {
+			return l, true
+		}
+	}
+	return Litmus{}, false
+}
