@@ -1,0 +1,13 @@
+package chooserseam_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"multicube/internal/analysis/analysistest"
+	"multicube/internal/analysis/chooserseam"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "seamfix"), chooserseam.Analyzer)
+}

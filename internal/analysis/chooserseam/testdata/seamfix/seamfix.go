@@ -1,0 +1,47 @@
+// Package seamfix exercises the chooserseam analyzer: go statements and
+// multi-way selects in a deterministic package, and the chooser-ok
+// annotation.
+//
+//multicube:deterministic
+package seamfix
+
+func spawn(work func()) {
+	go work() // want `go statement in a deterministic package bypasses the chooser seam`
+}
+
+func pump(step func()) {
+	//multicube:chooser-ok coroutine pump; strictly alternating handoff
+	go step()
+}
+
+func race(a, b chan int) int {
+	select { // want `multi-case select in a deterministic package`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func raceOK(a, b chan int) int {
+	//multicube:chooser-ok replay re-derives the winner
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func single(a chan int) (int, bool) {
+	select { // single-case select with default: deterministic
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func recvOnly(a chan int) int {
+	return <-a // plain channel ops are sequenced by the kernel
+}

@@ -1,0 +1,13 @@
+package detmap_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"multicube/internal/analysis/analysistest"
+	"multicube/internal/analysis/detmap"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "detfix"), detmap.Analyzer)
+}

@@ -1,0 +1,691 @@
+// Package genbump enforces the fingerprint-generation discipline that the
+// incremental fingerprint caches (internal/coherence/fpincr,
+// internal/singlebus/fpincr) depend on: every mutation of
+// fingerprint-visible state must be covered by a bump of the owning
+// struct's generation counter, or the model checker silently merges
+// distinct states — the exact bug class PR 3's 3× speedup made possible.
+//
+// State is registered two ways:
+//
+//   - Same-package struct fields annotated //multicube:gencounter (the
+//     counter itself) and //multicube:fpfield [guard=Type] (a guarded
+//     field; guard=Type redirects the obligation to another struct's
+//     counter, e.g. pending's fields are guarded by Node.gen).
+//   - The cross-package allowlist table in this package (DefaultConfig):
+//     fingerprint-visible fields of substrate types (cache.Entry.State,
+//     …) and mutator methods of substrate stores (cache.Cache.Insert,
+//     memory.Store.Write, …) whose *callers* own the generation counters.
+//
+// Two rules are enforced:
+//
+//	Rule A (same function): a function that writes a registered field —
+//	assignment, ++/--, op=, element store, delete, clear, copy-into — or
+//	calls a registered mutator method on a counter-carrying struct's
+//	field, must also bump the guarding generation counter in that same
+//	function. Helpers that deliberately rely on their callers' bumps are
+//	annotated //multicube:fpexempt <reason> (doc comment, or the line
+//	before a func literal); the bump obligation then propagates to the
+//	callers.
+//
+//	Rule B (exported mutators): an exported function or method that
+//	transitively (static same-package calls) reaches an exempted
+//	unbumped write without bumping along the way is flagged. This
+//	catches new entry points that forget the discipline even when every
+//	helper they use is individually annotated.
+//
+// Where the bump target is derivable, the finding carries a suggested fix
+// inserting `<recv>.<counter>++; ` before the offending statement.
+//
+// Known limits, accepted deliberately: writes through aliases (a slice
+// returned by an accessor, a retained *Entry) and calls through interfaces
+// or stored closures are invisible to the pass. The protocol entry points
+// (snoop dispatchers, processor-side APIs) bump unconditionally, which is
+// what makes the per-function convention — and hence this mechanical check
+// — sound in practice.
+package genbump
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"multicube/internal/analysis"
+)
+
+// Config lists the cross-package registration table and the packages it
+// applies to.
+type Config struct {
+	// Packages whose sources are checked against the allowlist entries
+	// below. Directive-registered fields are checked in every package.
+	Packages []string
+
+	// Fields are fingerprint-visible struct fields outside the analyzed
+	// package, "pkgpath.Type.Field". Writes are satisfied by a bump of
+	// any generation counter in the writing function (guard=any).
+	Fields []string
+
+	// Mutators are methods, "pkgpath.Type.Method", whose call mutates
+	// fingerprint-visible state of the receiver. A call through a field
+	// selector (x.store.Write(...)) obliges a bump of the field's owning
+	// struct when that struct carries a generation counter.
+	Mutators []string
+}
+
+// DefaultConfig is the repository's registration table.
+var DefaultConfig = Config{
+	Packages: []string{
+		"multicube/internal/coherence",
+		"multicube/internal/singlebus",
+		"multicube/internal/bus",
+	},
+	Fields: []string{
+		"multicube/internal/cache.Entry.State",
+		"multicube/internal/cache.Entry.Data",
+		"multicube/internal/cache.Entry.Pinned",
+	},
+	Mutators: []string{
+		"multicube/internal/cache.Cache.Insert",
+		"multicube/internal/cache.Cache.Invalidate",
+		"multicube/internal/cache.Cache.Drop",
+		"multicube/internal/mlt.Table.Insert",
+		"multicube/internal/mlt.Table.Remove",
+		"multicube/internal/memory.Store.Write",
+		"multicube/internal/memory.Store.Invalidate",
+	},
+}
+
+// Analyzer is the pass with the repository's default configuration.
+var Analyzer = New(DefaultConfig)
+
+// New builds a genbump analyzer for the given registration table.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "genbump",
+		Doc:  "writes to fingerprint-visible state must bump the owning generation counter",
+		Run:  func(pass *analysis.Pass) (any, error) { return run(pass, cfg) },
+	}
+}
+
+// collector holds the per-package registration state.
+type collector struct {
+	pass *analysis.Pass
+	cfg  Config
+
+	// counters maps a struct type to its generation-counter field name.
+	counters map[*types.TypeName]string
+	// counterVars marks the counter field objects themselves (bump
+	// targets).
+	counterVars map[types.Object]*types.TypeName
+	// fpVars maps registered field objects to their guarding struct type;
+	// nil means guard=any.
+	fpVars map[types.Object]*types.TypeName
+	// fpNames renders registered fields as "Type.Field" for diagnostics.
+	fpNames map[types.Object]string
+	// mutators marks registered mutator methods (resolved from imports).
+	mutators map[types.Object]bool
+	// allowlisted gates the allowlist entries to configured packages.
+	allowlisted bool
+
+	units []*funcUnit
+	// declUnits maps declared functions to their unit for Rule B.
+	declUnits map[*types.Func]*funcUnit
+}
+
+// funcUnit is one analyzed body: a declared function/method or a func
+// literal.
+type funcUnit struct {
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	obj  *types.Func   // nil for literals
+
+	exempt  bool
+	bumps   map[*types.TypeName]bool
+	writes  []writeRec
+	callees []*types.Func
+
+	obligations map[*types.TypeName]bool // memo for Rule B; anyGuard key for guard=any
+	visiting    bool
+}
+
+// anyGuard is the sentinel obligation key for guard=any registrations.
+var anyGuard = types.NewTypeName(token.NoPos, nil, "<any>", nil)
+
+// writeRec is one registered-state mutation found in a unit.
+type writeRec struct {
+	pos   token.Pos
+	stmt  ast.Stmt
+	desc  string
+	guard *types.TypeName // nil => any counter satisfies
+	base  ast.Expr        // receiver owning the counter, for the suggested fix
+}
+
+func run(pass *analysis.Pass, cfg Config) (any, error) {
+	c := &collector{
+		pass:        pass,
+		cfg:         cfg,
+		counters:    make(map[*types.TypeName]string),
+		counterVars: make(map[types.Object]*types.TypeName),
+		fpVars:      make(map[types.Object]*types.TypeName),
+		fpNames:     make(map[types.Object]string),
+		mutators:    make(map[types.Object]bool),
+		declUnits:   make(map[*types.Func]*funcUnit),
+	}
+	for _, p := range cfg.Packages {
+		if pass.Pkg.Path() == p {
+			c.allowlisted = true
+		}
+	}
+	c.registerDirectives()
+	if c.allowlisted {
+		c.registerAllowlist()
+	}
+	if len(c.counters) == 0 && len(c.fpVars) == 0 && len(c.mutators) == 0 {
+		return nil, nil // nothing registered: not a fingerprinted package
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.collectUnit(fd, nil)
+			}
+		}
+	}
+	c.ruleA()
+	c.ruleB()
+	return nil, nil
+}
+
+// registerDirectives walks struct declarations for gencounter/fpfield
+// annotations.
+func (c *collector) registerDirectives() {
+	type deferredGuard struct {
+		obj   types.Object
+		guard string
+		pos   token.Pos
+	}
+	var deferred []deferredGuard
+	byName := make(map[string]*types.TypeName)
+
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, ok := c.pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			byName[tn.Name()] = tn
+			for _, field := range st.Fields.List {
+				ds := analysis.CommentGroupDirectives(field.Doc, field.Comment)
+				for _, name := range field.Names {
+					obj := c.pass.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if _, ok := analysis.FindVerb(ds, "gencounter"); ok {
+						c.counters[tn] = name.Name
+						c.counterVars[obj] = tn
+					}
+					if d, ok := analysis.FindVerb(ds, "fpfield"); ok {
+						c.fpNames[obj] = tn.Name() + "." + name.Name
+						if g := d.Arg("guard"); g != "" {
+							deferred = append(deferred, deferredGuard{obj, g, d.Pos})
+						} else {
+							c.fpVars[obj] = tn
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, d := range deferred {
+		tn, ok := byName[d.guard]
+		if !ok {
+			c.pass.Reportf(d.pos, "fpfield guard=%s names no struct type in this package", d.guard)
+			continue
+		}
+		c.fpVars[d.obj] = tn
+	}
+	// Directive-registered guards must actually have counters.
+	for obj, tn := range c.fpVars {
+		if tn == nil {
+			continue
+		}
+		if _, ok := c.counters[tn]; !ok {
+			c.pass.Reportf(obj.Pos(), "fpfield guarded by %s, but %s has no //multicube:gencounter field", tn.Name(), tn.Name())
+		}
+	}
+}
+
+// registerAllowlist resolves the cross-package tables against the
+// package's import graph.
+func (c *collector) registerAllowlist() {
+	resolve := func(entry string) (types.Object, string, bool) {
+		dot := strings.LastIndexByte(entry, '.')
+		pkgType := entry[:dot]
+		member := entry[dot+1:]
+		slash := strings.LastIndexByte(pkgType, '.')
+		pkgPath, typeName := pkgType[:slash], pkgType[slash+1:]
+		pkg := findImport(c.pass.Pkg, pkgPath)
+		if pkg == nil {
+			return nil, "", false
+		}
+		obj := pkg.Scope().Lookup(typeName)
+		if obj == nil {
+			return nil, "", false
+		}
+		return obj, member, true
+	}
+	for _, entry := range c.cfg.Fields {
+		obj, field, ok := resolve(entry)
+		if !ok {
+			continue
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i).Name() == field {
+				c.fpVars[st.Field(i)] = nil // guard=any
+				c.fpNames[st.Field(i)] = named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + field
+			}
+		}
+	}
+	for _, entry := range c.cfg.Mutators {
+		obj, method, ok := resolve(entry)
+		if !ok {
+			continue
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == method {
+				c.mutators[m] = true
+			}
+		}
+	}
+}
+
+// findImport locates path among the package's transitive imports.
+func findImport(pkg *types.Package, path string) *types.Package {
+	seen := make(map[*types.Package]bool)
+	var walk func(p *types.Package) *types.Package
+	walk = func(p *types.Package) *types.Package {
+		if p.Path() == path {
+			return p
+		}
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		for _, imp := range p.Imports() {
+			if got := walk(imp); got != nil {
+				return got
+			}
+		}
+		return nil
+	}
+	return walk(pkg)
+}
+
+// collectUnit walks one function body, recording writes, bumps, and
+// same-package callees; nested literals become their own units.
+func (c *collector) collectUnit(decl *ast.FuncDecl, lit *ast.FuncLit) {
+	u := &funcUnit{decl: decl, lit: lit, bumps: make(map[*types.TypeName]bool)}
+	var body *ast.BlockStmt
+	if decl != nil {
+		body = decl.Body
+		if obj, ok := c.pass.TypesInfo.Defs[decl.Name].(*types.Func); ok {
+			u.obj = obj
+			c.declUnits[obj] = u
+		}
+		if _, ok := analysis.FindVerb(analysis.CommentGroupDirectives(decl.Doc), "fpexempt"); ok {
+			u.exempt = true
+		}
+	} else {
+		body = lit.Body
+		u.exempt = c.pass.Dirs.NodeHas(lit.Pos(), "fpexempt")
+	}
+	c.units = append(c.units, u)
+
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if fl, ok := n.(*ast.FuncLit); ok {
+			c.collectUnit(nil, fl)
+			return false
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				c.recordWrite(u, lhs, enclosingStmt(stack))
+			}
+		case *ast.IncDecStmt:
+			c.recordWrite(u, n.X, enclosingStmt(stack))
+		case *ast.CallExpr:
+			c.recordCall(u, n, enclosingStmt(stack))
+		}
+		return true
+	})
+}
+
+// enclosingStmt returns the innermost statement on the stack (the node
+// the suggested fix inserts before).
+func enclosingStmt(stack []ast.Node) ast.Stmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if s, ok := stack[i].(ast.Stmt); ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// fieldOf resolves expr (unwrapping indexing, parens, derefs) to a
+// selected struct field, returning the field object and the receiver
+// expression.
+func (c *collector) fieldOf(expr ast.Expr) (types.Object, ast.Expr) {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			sel, ok := expr.(*ast.SelectorExpr)
+			if !ok {
+				return nil, nil
+			}
+			s := c.pass.TypesInfo.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return nil, nil
+			}
+			return s.Obj(), sel.X
+		}
+	}
+}
+
+// recordWrite classifies one assignment/inc-dec target.
+func (c *collector) recordWrite(u *funcUnit, lhs ast.Expr, stmt ast.Stmt) {
+	obj, recv := c.fieldOf(lhs)
+	if obj == nil {
+		return
+	}
+	if tn, ok := c.counterVars[obj]; ok {
+		u.bumps[tn] = true
+		return
+	}
+	guard, ok := c.fpVars[obj]
+	if !ok {
+		return
+	}
+	base := recv
+	if guard != nil && !c.isType(recv, guard) {
+		// guard=Type redirection (e.g. pending fields guarded by Node):
+		// the counter lives on an enclosing receiver we cannot derive
+		// mechanically.
+		base = nil
+	}
+	name := c.fpNames[obj]
+	if name == "" {
+		name = obj.Name()
+	}
+	u.writes = append(u.writes, writeRec{
+		pos:   lhs.Pos(),
+		stmt:  stmt,
+		desc:  "field " + name,
+		guard: guard,
+		base:  base,
+	})
+}
+
+// recordCall classifies builtin mutations (copy/clear/delete into a
+// registered field) and registered mutator-method calls.
+func (c *collector) recordCall(u *funcUnit, call *ast.CallExpr, stmt ast.Stmt) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "copy", "clear", "delete":
+			if len(call.Args) > 0 {
+				if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					c.recordWrite(u, call.Args[0], stmt)
+				}
+			}
+		}
+		if fn, ok := c.pass.TypesInfo.Uses[id].(*types.Func); ok && fn.Pkg() == c.pass.Pkg {
+			u.callees = append(u.callees, fn)
+		}
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	callee, _ := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if callee == nil {
+		return
+	}
+	if callee.Pkg() == c.pass.Pkg {
+		u.callees = append(u.callees, callee)
+	}
+	if !c.mutators[callee] {
+		return
+	}
+	// The receiver must be a field of a counter-carrying struct for the
+	// obligation to be attributable; x.store.Write(...) obliges a bump of
+	// x's struct.
+	fieldObj, base := c.fieldOf(sel.X)
+	if fieldObj == nil {
+		return
+	}
+	owner := c.ownerTypeName(fieldObj)
+	if owner == nil {
+		return
+	}
+	if _, hasCounter := c.counters[owner]; !hasCounter {
+		return
+	}
+	u.writes = append(u.writes, writeRec{
+		pos:   call.Pos(),
+		stmt:  stmt,
+		desc:  fmt.Sprintf("state via (%s).%s on %s.%s", callee.Type().(*types.Signature).Recv().Type(), callee.Name(), owner.Name(), fieldObj.Name()),
+		guard: owner,
+		base:  base,
+	})
+}
+
+// ownerTypeName returns the named struct type declaring field obj, when
+// it belongs to this package.
+func (c *collector) ownerTypeName(obj types.Object) *types.TypeName {
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() || v.Pkg() != c.pass.Pkg {
+		return nil
+	}
+	// Search the package scope for the named type containing this field.
+	scope := c.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return tn
+			}
+		}
+	}
+	return nil
+}
+
+// isType reports whether expr's type is T or *T.
+func (c *collector) isType(expr ast.Expr, tn *types.TypeName) bool {
+	if expr == nil {
+		return false
+	}
+	tv, ok := c.pass.TypesInfo.Types[expr]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == tn
+}
+
+// satisfied reports whether a write's obligation is met by the unit's own
+// bumps.
+func (u *funcUnit) satisfied(w writeRec) bool {
+	if w.guard == nil {
+		return len(u.bumps) > 0
+	}
+	return u.bumps[w.guard]
+}
+
+// ruleA reports unexempted writes without a same-function bump.
+func (c *collector) ruleA() {
+	for _, u := range c.units {
+		if u.exempt {
+			continue
+		}
+		for _, w := range u.writes {
+			if u.satisfied(w) {
+				continue
+			}
+			d := analysis.Diagnostic{
+				Pos: w.pos,
+				Message: fmt.Sprintf(
+					"write to fingerprint-visible %s without a generation bump in this function (bump the guarding counter, or annotate //multicube:fpexempt if every caller bumps)",
+					w.desc),
+			}
+			if fix := c.bumpFix(w); fix != nil {
+				d.SuggestedFixes = []analysis.SuggestedFix{*fix}
+			}
+			c.pass.Report(d)
+		}
+	}
+}
+
+// bumpFix builds the mechanical insertion `<recv>.<counter>++; ` before
+// the flagged statement, when the bump target is derivable.
+func (c *collector) bumpFix(w writeRec) *analysis.SuggestedFix {
+	if w.guard == nil || w.base == nil || w.stmt == nil {
+		return nil
+	}
+	counter, ok := c.counters[w.guard]
+	if !ok {
+		return nil
+	}
+	recv := types.ExprString(w.base)
+	return &analysis.SuggestedFix{
+		Message: fmt.Sprintf("insert %s.%s++ before the mutation", recv, counter),
+		TextEdits: []analysis.TextEdit{{
+			Pos:     w.stmt.Pos(),
+			End:     w.stmt.Pos(),
+			NewText: []byte(recv + "." + counter + "++; "),
+		}},
+	}
+}
+
+// ruleB propagates bump obligations through exempted helpers to exported
+// entry points.
+func (c *collector) ruleB() {
+	for _, u := range c.units {
+		if u.decl == nil || u.obj == nil || !u.obj.Exported() || u.exempt {
+			continue
+		}
+		obl := c.obligations(u)
+		if len(obl) == 0 {
+			continue
+		}
+		var names []string
+		for tn := range obl {
+			if tn == anyGuard {
+				names = append(names, "substrate state")
+			} else {
+				names = append(names, tn.Name())
+			}
+		}
+		sortStrings(names)
+		c.pass.Reportf(u.decl.Name.Pos(),
+			"exported %s reaches fingerprint-visible writes (guarded by %s) through exempted helpers without bumping a generation counter",
+			u.obj.Name(), strings.Join(names, ", "))
+	}
+}
+
+// obligations computes the guard types a unit requires its callers to
+// cover: its own exempted writes plus its callees' obligations, minus
+// whatever its own bumps satisfy.
+func (c *collector) obligations(u *funcUnit) map[*types.TypeName]bool {
+	if u.obligations != nil {
+		return u.obligations
+	}
+	if u.visiting {
+		return nil // break recursion; the cycle's obligations surface elsewhere
+	}
+	u.visiting = true
+	out := make(map[*types.TypeName]bool)
+	if u.exempt {
+		for _, w := range u.writes {
+			if u.satisfied(w) {
+				continue
+			}
+			if w.guard == nil {
+				out[anyGuard] = true
+			} else {
+				out[w.guard] = true
+			}
+		}
+	}
+	for _, callee := range u.callees {
+		cu := c.declUnits[callee]
+		if cu == nil {
+			continue
+		}
+		for tn := range c.obligations(cu) {
+			out[tn] = true
+		}
+	}
+	// The unit's own bumps discharge obligations.
+	if len(u.bumps) > 0 {
+		delete(out, anyGuard)
+		for tn := range u.bumps {
+			delete(out, tn)
+		}
+	}
+	u.visiting = false
+	u.obligations = out
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

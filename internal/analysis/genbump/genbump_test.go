@@ -1,0 +1,115 @@
+package genbump_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multicube/internal/analysis"
+	"multicube/internal/analysis/analysistest"
+	"multicube/internal/analysis/genbump"
+)
+
+func TestFixture(t *testing.T) {
+	findings := analysistest.Run(t, filepath.Join("testdata", "genfix"), genbump.Analyzer)
+	analysistest.Golden(t, filepath.Join("testdata", "genfix"), findings, "genfix.go")
+}
+
+// stripBump removes one exact occurrence of needle from the named repo
+// file and returns an overlay mapping for it; the test fails if the
+// needle is not present (the anchor drifted).
+func stripBump(t *testing.T, modRoot, relPath, needle, replacement string) map[string][]byte {
+	t.Helper()
+	path := filepath.Join(modRoot, filepath.FromSlash(relPath))
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", relPath, err)
+	}
+	if !bytes.Contains(src, []byte(needle)) {
+		t.Fatalf("%s no longer contains %q; update the overlay anchor", relPath, needle)
+	}
+	mod := bytes.Replace(src, []byte(needle), []byte(replacement), 1)
+	return map[string][]byte{path: mod}
+}
+
+// runGenbump loads one repo package (optionally with an overlay) and
+// returns genbump's findings.
+func runGenbump(t *testing.T, modRoot, pattern string, overlay map[string][]byte) []analysis.Finding {
+	t.Helper()
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: modRoot, Overlay: overlay}, pattern)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	findings, _, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{genbump.Analyzer})
+	if err != nil {
+		t.Fatalf("running genbump on %s: %v", pattern, err)
+	}
+	return findings
+}
+
+// TestDetectsStrippedBumpSinglebus is the acceptance proof for the pass:
+// deleting the generation bump at the top of the write-once snoop
+// handler — the exact omission that would silently corrupt the
+// incremental fingerprint cache — must produce diagnostics, while the
+// unmodified package stays clean.
+func TestDetectsStrippedBumpSinglebus(t *testing.T) {
+	modRoot := analysistest.ModuleRoot(t)
+
+	if got := runGenbump(t, modRoot, "./internal/singlebus", nil); len(got) != 0 {
+		t.Fatalf("unmodified internal/singlebus should be clean, got %d findings:\n%s", len(got), render(got))
+	}
+
+	overlay := stripBump(t, modRoot, "internal/singlebus/processor.go",
+		"func (p *Processor) snoop(o *op) {\n\tp.gen++\n",
+		"func (p *Processor) snoop(o *op) {\n")
+	got := runGenbump(t, modRoot, "./internal/singlebus", overlay)
+	if len(got) == 0 {
+		t.Fatal("genbump missed the stripped p.gen++ in (*Processor).snoop")
+	}
+	for _, f := range got {
+		pos := f.Pkg.Fset.Position(f.Diag.Pos)
+		if filepath.Base(pos.Filename) != "processor.go" {
+			t.Errorf("finding outside processor.go: %s", f)
+		}
+		// Rule A fires at each uncovered write; rule B additionally fires
+		// at the exported Snoop wrapper, whose obligation was previously
+		// discharged by the stripped bump.
+		if !strings.Contains(f.Diag.Message, "without a generation bump") &&
+			!strings.Contains(f.Diag.Message, "reaches fingerprint-visible writes") {
+			t.Errorf("unexpected message: %s", f.Diag.Message)
+		}
+	}
+}
+
+// TestDetectsStrippedBumpBus does the same against the bus package:
+// Request mutates the fingerprint-visible arbitration queues, so its
+// bump must not be removable without the suite noticing.
+func TestDetectsStrippedBumpBus(t *testing.T) {
+	modRoot := analysistest.ModuleRoot(t)
+
+	if got := runGenbump(t, modRoot, "./internal/bus", nil); len(got) != 0 {
+		t.Fatalf("unmodified internal/bus should be clean, got %d findings:\n%s", len(got), render(got))
+	}
+
+	overlay := stripBump(t, modRoot, "internal/bus/bus.go", "\tb.gen++\n\tp := pending{", "\tp := pending{")
+	got := runGenbump(t, modRoot, "./internal/bus", overlay)
+	if len(got) == 0 {
+		t.Fatal("genbump missed the stripped b.gen++ in (*Bus).Request")
+	}
+	for _, f := range got {
+		if !strings.Contains(f.Diag.Message, "fingerprint-visible") {
+			t.Errorf("unexpected message: %s", f.Diag.Message)
+		}
+	}
+}
+
+func render(fs []analysis.Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+// Package genfix exercises the genbump analyzer: fields registered as
+// fingerprint-visible by directive, generation bumps, fpexempt helpers,
+// and rule B's obligation propagation to exported entry points.
+package genfix
+
+// Counter carries fingerprint-visible state guarded by gen.
+type Counter struct {
+	data []uint64 //multicube:fpfield
+	note int      // not fingerprint-visible
+
+	//multicube:gencounter
+	gen uint64
+}
+
+// Flag lives in another struct but is hashed with Counter's state.
+type Flag struct {
+	//multicube:fpfield guard=Counter
+	hot bool
+}
+
+func (c *Counter) good(v uint64) {
+	c.gen++
+	c.data[0] = v
+}
+
+func (c *Counter) bumpAfter(v uint64) {
+	c.data[0] = v // bump order within the function does not matter
+	c.gen++
+}
+
+func (c *Counter) noteOnly(v int) {
+	c.note = v // unregistered field: no bump required
+}
+
+func (c *Counter) bad(v uint64) {
+	c.data[0] = v // want `write to fingerprint-visible field Counter\.data without a generation bump`
+}
+
+func (c *Counter) badIncDec() {
+	c.data[0]++ // want `field Counter\.data`
+}
+
+func (c *Counter) badBuiltin(src []uint64) {
+	copy(c.data, src) // want `field Counter\.data`
+}
+
+func (c *Counter) badAssignField() {
+	c.data = nil // want `field Counter\.data`
+}
+
+func crossGuard(f *Flag) {
+	f.hot = true // want `field Flag\.hot`
+}
+
+func crossGuardBumped(f *Flag, c *Counter) {
+	c.gen++
+	f.hot = true
+}
+
+//multicube:fpexempt every caller bumps
+func (c *Counter) helper(v uint64) {
+	c.data[0] = v
+}
+
+// Entry bumps before delegating, satisfying rule B.
+func (c *Counter) Entry(v uint64) {
+	c.gen++
+	c.helper(v)
+}
+
+// Leak reaches the exempted write without bumping.
+func (c *Counter) Leak(v uint64) { // want `exported Leak reaches fingerprint-visible writes \(guarded by Counter\)`
+	c.helper(v)
+}
+
+// Deep reaches the write through two exempted levels.
+func (c *Counter) Deep(v uint64) { // want `exported Deep reaches fingerprint-visible writes`
+	c.middle(v)
+}
+
+//multicube:fpexempt forwarding layer
+func (c *Counter) middle(v uint64) {
+	c.helper(v)
+}
+
+func (c *Counter) unexportedLeak(v uint64) {
+	c.helper(v) // rule B flags exported entry points only
+}
+
+func use(c *Counter, f *Flag) {
+	c.good(1)
+	c.bumpAfter(2)
+	c.noteOnly(3)
+	c.bad(4)
+	c.badIncDec()
+	c.badBuiltin(nil)
+	c.badAssignField()
+	crossGuard(f)
+	crossGuardBumped(f, c)
+	c.unexportedLeak(5)
+}

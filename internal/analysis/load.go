@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	Dirs      *DirectiveIndex
+}
+
+// LoadConfig controls package loading.
+type LoadConfig struct {
+	// Dir is the directory `go list` runs in (the module root). Empty
+	// means the current directory.
+	Dir string
+
+	// Overlay maps absolute file paths to replacement contents, letting
+	// tests analyze a modified copy of a real package (e.g. one with a
+	// generation bump deliberately removed) without touching the tree.
+	Overlay map[string][]byte
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Load lists patterns with the go tool, parses each matched package's
+// sources, and type-checks them against the export data of their
+// dependencies. It never compiles the target packages itself and works
+// fully offline (export data comes from the local build cache).
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		var files []string
+		for _, gf := range t.GoFiles {
+			files = append(files, filepath.Join(t.Dir, gf))
+		}
+		pkg, err := typecheck(fset, imp, t.ImportPath, t.Dir, files, cfg.Overlay)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads a single package from the .go files directly inside dir
+// (excluding *_test.go), resolving its imports — typically a testdata
+// fixture outside the module. modDir anchors the `go list` run that
+// fetches export data for the fixture's imports.
+func LoadDir(modDir, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	sort.Strings(files)
+
+	// Parse first to learn the import set, then list it for export data.
+	fset := token.NewFileSet()
+	var syntax []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, af)
+	}
+	imports := make(map[string]bool)
+	for _, af := range syntax {
+		for _, im := range af.Imports {
+			imports[strings.Trim(im.Path.Value, `"`)] = true
+		}
+	}
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		var paths []string
+		for p := range imports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		args := append([]string{
+			"list", "-export", "-deps",
+			"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly",
+		}, paths...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = modDir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("analysis: go list fixture imports: %v\n%s", err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listedPkg
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := exportImporter(fset, exports)
+	return typecheckParsed(fset, imp, syntax[0].Name.Name, dir, syntax)
+}
+
+// exportImporter resolves import paths through the export files go list
+// reported.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, pkgPath, dir string, files []string, overlay map[string][]byte) (*Package, error) {
+	var syntax []*ast.File
+	for _, f := range files {
+		var src any
+		if overlay != nil {
+			if b, ok := overlay[f]; ok {
+				src = b
+			}
+		}
+		af, err := parser.ParseFile(fset, f, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, af)
+	}
+	pkg, err := typecheckParsed(fset, imp, pkgPath, dir, syntax)
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+func typecheckParsed(fset *token.FileSet, imp types.Importer, pkgPath, dir string, syntax []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      fset,
+		Syntax:    syntax,
+		Types:     tpkg,
+		TypesInfo: info,
+		Dirs:      IndexDirectives(fset, syntax),
+	}, nil
+}

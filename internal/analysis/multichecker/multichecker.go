@@ -1,0 +1,114 @@
+// Package multichecker drives the multicube invariant suite: it loads the
+// requested packages once and applies every registered analyzer, printing
+// findings in the conventional file:line:col form. cmd/multicube-vet is a
+// thin main around Run; tests call Run directly.
+package multichecker
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"multicube/internal/analysis"
+	"multicube/internal/analysis/chooserseam"
+	"multicube/internal/analysis/detmap"
+	"multicube/internal/analysis/genbump"
+	"multicube/internal/analysis/nowallclock"
+)
+
+// Suite returns the full analyzer suite in its canonical order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		genbump.Analyzer,
+		detmap.Analyzer,
+		nowallclock.Analyzer,
+		chooserseam.Analyzer,
+	}
+}
+
+// Exit codes, matching go vet's convention.
+const (
+	ExitClean    = 0
+	ExitFindings = 1
+	ExitError    = 2
+)
+
+// Run executes the suite over the packages matching args in moduleDir,
+// writing findings to out. Flags accepted in args (before patterns):
+//
+//	-only=a,b   run only the named analyzers
+//	-time       print per-analyzer wall time to out after the findings
+//
+// The returned int is the process exit code.
+func Run(moduleDir string, out io.Writer, args []string) int {
+	fs := flag.NewFlagSet("multicube-vet", flag.ContinueOnError)
+	fs.SetOutput(out)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	timing := fs.Bool("time", false, "print per-analyzer wall time")
+	fs.Usage = func() {
+		fmt.Fprintf(out, "usage: multicube-vet [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range Suite() {
+			fmt.Fprintf(out, "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return ExitError
+	}
+
+	analyzers := Suite()
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(out, "multicube-vet: unknown analyzer %q\n", name)
+			return ExitError
+		}
+		analyzers = filtered
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: moduleDir}, patterns...)
+	if err != nil {
+		fmt.Fprintf(out, "multicube-vet: %v\n", err)
+		return ExitError
+	}
+	findings, times, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(out, "multicube-vet: %v\n", err)
+		return ExitError
+	}
+	for _, f := range findings {
+		fmt.Fprintln(out, f.String())
+	}
+	if *timing {
+		for _, t := range times {
+			fmt.Fprintf(out, "# %-12s %s\n", t.Analyzer, t.Elapsed)
+		}
+	}
+	if len(findings) > 0 {
+		return ExitFindings
+	}
+	return ExitClean
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

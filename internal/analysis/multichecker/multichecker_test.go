@@ -1,0 +1,104 @@
+package multichecker_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"multicube/internal/analysis/analysistest"
+	"multicube/internal/analysis/multichecker"
+)
+
+const (
+	seededPkg   = "./internal/analysis/multichecker/testdata/seeded"
+	unmarkedPkg = "./internal/analysis/multichecker/testdata/unmarked"
+)
+
+func TestSuiteNames(t *testing.T) {
+	want := []string{"genbump", "detmap", "nowallclock", "chooserseam"}
+	suite := multichecker.Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s missing doc or run function", a.Name)
+		}
+	}
+}
+
+// TestRepoClean is the CI gate's positive half: the suite must pass over
+// the entire repository with no findings and no output.
+func TestRepoClean(t *testing.T) {
+	var buf bytes.Buffer
+	code := multichecker.Run(analysistest.ModuleRoot(t), &buf, []string{"./..."})
+	if code != multichecker.ExitClean {
+		t.Fatalf("multicube-vet ./... = exit %d, want %d; output:\n%s", code, multichecker.ExitClean, buf.String())
+	}
+	if buf.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", buf.String())
+	}
+}
+
+// TestSeededFixtureFails is the negative half: a package violating every
+// invariant must fail with a finding from each analyzer.
+func TestSeededFixtureFails(t *testing.T) {
+	var buf bytes.Buffer
+	code := multichecker.Run(analysistest.ModuleRoot(t), &buf, []string{seededPkg})
+	if code != multichecker.ExitFindings {
+		t.Fatalf("seeded fixture = exit %d, want %d; output:\n%s", code, multichecker.ExitFindings, buf.String())
+	}
+	out := buf.String()
+	for _, name := range []string{"genbump", "detmap", "nowallclock", "chooserseam"} {
+		if !strings.Contains(out, "("+name+")") {
+			t.Errorf("no %s finding against the seeded fixture; output:\n%s", name, out)
+		}
+	}
+}
+
+// TestUnmarkedFixtureClean: without the deterministic marker or
+// registered fingerprint state, the same constructs produce nothing.
+func TestUnmarkedFixtureClean(t *testing.T) {
+	var buf bytes.Buffer
+	code := multichecker.Run(analysistest.ModuleRoot(t), &buf, []string{unmarkedPkg})
+	if code != multichecker.ExitClean {
+		t.Fatalf("unmarked fixture = exit %d, want %d; output:\n%s", code, multichecker.ExitClean, buf.String())
+	}
+}
+
+func TestOnlyFilter(t *testing.T) {
+	var buf bytes.Buffer
+	code := multichecker.Run(analysistest.ModuleRoot(t), &buf, []string{"-only=detmap", seededPkg})
+	if code != multichecker.ExitFindings {
+		t.Fatalf("-only=detmap on seeded fixture = exit %d, want %d", code, multichecker.ExitFindings)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if !strings.HasSuffix(line, "(detmap)") {
+			t.Errorf("-only=detmap leaked another analyzer's finding: %s", line)
+		}
+	}
+
+	buf.Reset()
+	if code := multichecker.Run(analysistest.ModuleRoot(t), &buf, []string{"-only=bogus", seededPkg}); code != multichecker.ExitError {
+		t.Errorf("-only=bogus = exit %d, want %d", code, multichecker.ExitError)
+	}
+	if !strings.Contains(buf.String(), `unknown analyzer "bogus"`) {
+		t.Errorf("missing unknown-analyzer message; output:\n%s", buf.String())
+	}
+}
+
+func TestTimingFlag(t *testing.T) {
+	var buf bytes.Buffer
+	code := multichecker.Run(analysistest.ModuleRoot(t), &buf, []string{"-time", unmarkedPkg})
+	if code != multichecker.ExitClean {
+		t.Fatalf("-time on unmarked fixture = exit %d, want %d; output:\n%s", code, multichecker.ExitClean, buf.String())
+	}
+	for _, name := range []string{"genbump", "detmap", "nowallclock", "chooserseam"} {
+		if !strings.Contains(buf.String(), "# "+name) {
+			t.Errorf("missing %s timing line; output:\n%s", name, buf.String())
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Package seeded violates every invariant in the suite exactly once.
+// The multichecker test drives multicube-vet over this package and
+// requires a finding from each analyzer and a failing exit code — the
+// "fails on a seeded violation" half of the CI-gate contract.
+//
+//multicube:deterministic
+package seeded
+
+import "time"
+
+type state struct {
+	vals []uint64 //multicube:fpfield
+
+	//multicube:gencounter
+	gen uint64
+}
+
+func (s *state) poke(v uint64) {
+	s.vals[0] = v // genbump: no generation bump in this function
+}
+
+func tick() int64 {
+	return time.Now().UnixNano() // nowallclock: wall-clock read
+}
+
+func keys(m map[int]int) []int {
+	var out []int
+	for k := range m { // detmap: collected but never sorted
+		out = append(out, k)
+	}
+	return out
+}
+
+func spawn(f func()) {
+	go f() // chooserseam: goroutine outside the seam
+}

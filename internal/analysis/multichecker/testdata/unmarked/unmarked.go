@@ -1,0 +1,32 @@
+// Package unmarked carries no //multicube:deterministic marker and
+// registers no fingerprint state: the same constructs that light up the
+// seeded fixture must produce zero findings here, proving the suite
+// scopes itself to opted-in packages.
+package unmarked
+
+import "time"
+
+func tick() int64 {
+	return time.Now().UnixNano()
+}
+
+func keys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func spawn(f func()) {
+	go f()
+}
+
+func race(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

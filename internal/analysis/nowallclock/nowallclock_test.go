@@ -1,0 +1,13 @@
+package nowallclock_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"multicube/internal/analysis/analysistest"
+	"multicube/internal/analysis/nowallclock"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "wallfix"), nowallclock.Analyzer)
+}

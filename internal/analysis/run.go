@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Finding pairs a diagnostic with the package it was found in.
+type Finding struct {
+	Pkg      *Package
+	Analyzer *Analyzer
+	Diag     Diagnostic
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	pos := f.Pkg.Fset.Position(f.Diag.Pos)
+	return fmt.Sprintf("%s: %s (%s)", pos, f.Diag.Message, f.Analyzer.Name)
+}
+
+// Timing records one analyzer's aggregate wall time across all packages.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by position, plus per-analyzer wall times.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Timing, error) {
+	var findings []Finding
+	elapsed := make(map[string]time.Duration)
+	for _, a := range analyzers {
+		start := time.Now()
+		for _, pkg := range pkgs {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Dirs:      pkg.Dirs,
+			}
+			p := pkg
+			pass.Report = func(d Diagnostic) {
+				findings = append(findings, Finding{Pkg: p, Analyzer: a, Diag: d})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+		elapsed[a.Name] += time.Since(start)
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		pi := findings[i].Pkg.Fset.Position(findings[i].Diag.Pos)
+		pj := findings[j].Pkg.Fset.Position(findings[j].Diag.Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	var times []Timing
+	for _, a := range analyzers {
+		times = append(times, Timing{Analyzer: a.Name, Elapsed: elapsed[a.Name]})
+	}
+	return findings, times, nil
+}

@@ -18,6 +18,11 @@
 // Both phases run at the end of the occupancy interval, in deterministic
 // attach order. Actions that model device latency (a snooping-cache or
 // memory access before a reply) are scheduled by the agents themselves.
+// The package participates in the explorer's determinism contract: no
+// wall clock, no map-order dependence, no scheduling outside the chooser
+// seam. multicube-vet enforces this (see internal/analysis).
+//
+//multicube:deterministic
 package bus
 
 import (
@@ -90,11 +95,14 @@ type Bus struct {
 	arb    Arbitration
 	agents []Agent
 
-	fifo   []pending   // FIFO mode
+	//multicube:fpfield
+	fifo []pending // FIFO mode
+	//multicube:fpfield
 	perSrc [][]pending // RoundRobin mode, indexed by attach index
 	queued int
-	busy   bool
-	last   int // last granted attach index (RoundRobin)
+	//multicube:fpfield
+	busy bool
+	last int // last granted attach index (RoundRobin)
 
 	// chooser, when set, arbitrates among all queued requests in place
 	// of the configured policy; candidate 0 is the policy's own pick, so
@@ -107,11 +115,15 @@ type Bus struct {
 	deferGrants  bool
 	grantPending bool
 	// inflight is the granted operation whose occupancy is running.
+	//
+	//multicube:fpfield
 	inflight Packet
 
 	// gen counts mutations of fingerprint-visible bus state (queues,
 	// busy/inflight). Incremental fingerprint caches compare it against a
 	// remembered value to skip rehashing an unchanged bus.
+	//
+	//multicube:gencounter
 	gen uint64
 
 	// scratch buffers reused by nextChosen, which runs once per grant
@@ -139,6 +151,8 @@ func (b *Bus) Agents() int { return len(b.agents) }
 
 // Attach connects an agent and returns its attach index, which is also its
 // arbitration identity.
+//
+//multicube:fpexempt construction-time wiring, before any fingerprint exists
 func (b *Bus) Attach(a Agent) int {
 	b.agents = append(b.agents, a)
 	b.perSrc = append(b.perSrc, nil)
@@ -225,6 +239,8 @@ func (b *Bus) scheduleGrant() {
 // next pops the operation to grant, per policy — or, with a chooser
 // installed, the chooser's pick among the head request of every waiting
 // source (per-source order is a hardware FIFO and is never violated).
+//
+//multicube:fpexempt called only from grant, which bumps
 func (b *Bus) next() (pending, bool) {
 	if b.queued == 0 {
 		return pending{}, false

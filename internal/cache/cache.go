@@ -12,6 +12,11 @@
 // evictions), which models the paper's assumption that the snooping cache
 // is "comparable to main memory on most current machines" and private-data
 // misses are negligible.
+// The package participates in the explorer's determinism contract: no
+// wall clock, no map-order dependence, no scheduling outside the chooser
+// seam. multicube-vet enforces this (see internal/analysis).
+//
+//multicube:deterministic
 package cache
 
 import (
@@ -346,6 +351,7 @@ func (c *Cache) Len() int {
 func (c *Cache) ForEach(fn func(e *Entry)) {
 	if !c.bounded() {
 		lines := c.lineScratch[:0]
+		//multicube:detrange-ok keys are insertion-sorted below before any visit
 		for l, e := range c.table {
 			if e.State != Invalid {
 				lines = append(lines, l)

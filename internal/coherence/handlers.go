@@ -151,6 +151,7 @@ column bus request for modified data; removing the modified line table
 
 	entry guarantees access to the data; losing requests are reissued
 */
+//multicube:fpexempt dispatched under snoopRow/snoopCol, which bump
 func (n *Node) colRequestRemove(op *Op) {
 	removed := n.table.Remove(mlt.Line(op.Line))
 	if !removed {
@@ -227,6 +228,8 @@ func (n *Node) colRequestRemove(op *Op) {
 // serveReadFromModified supplies modified data for a READ: the holder
 // fetches the data, changes its mode from modified to shared, and routes
 // the data toward the requester with a memory update along the way.
+//
+//multicube:fpexempt dispatched under snoopRow/snoopCol, which bump
 func (n *Node) serveReadFromModified(op *Op, e *cache.Entry) {
 	data := append([]uint64(nil), e.Data...)
 	e.State = Shared
@@ -244,6 +247,8 @@ func (n *Node) serveReadFromModified(op *Op, e *cache.Entry) {
 // serveReadModFromModified transfers ownership for a READMOD: the holder
 // invalidates its copy and sends the line toward the requester's column.
 // Main memory is not updated.
+//
+//multicube:fpexempt dispatched under snoopRow/snoopCol, which bump
 func (n *Node) serveReadModFromModified(op *Op, e *cache.Entry) {
 	var data []uint64
 	if !op.Flags.Has(ALLOC) {
@@ -296,6 +301,7 @@ write the line to memory; if the modified line table remove operation
 	fails then some other bus operation will remove the data; in either
 	case signal the processor request to continue
 */
+//multicube:fpexempt dispatched under snoopRow/snoopCol, which bump
 func (n *Node) colWritebackRemove(op *Op) {
 	removed := n.table.Remove(mlt.Line(op.Line))
 	if op.Origin != n.id {
@@ -331,6 +337,7 @@ row bus operation to purge all shared copies of a line; the home column
 
 	data cache has already been purged
 */
+//multicube:fpexempt dispatched under snoopRow/snoopCol, which bump
 func (n *Node) rowPurge(op *Op) {
 	n.poisonPendingRead(op.Line)
 	if n.onHomeColumn(op.Line) {
@@ -377,6 +384,8 @@ func (n *Node) rowReadReply(op *Op) {
 }
 
 // rowOwnershipReply handles READMOD/TAS/SYNC replies on a row bus.
+//
+//multicube:fpexempt dispatched under snoopRow/snoopCol, which bump
 func (n *Node) rowOwnershipReply(op *Op) {
 	switch {
 	case op.Flags.Has(PURGE):
@@ -468,6 +477,8 @@ func (n *Node) colReadReply(op *Op) {
 }
 
 // colOwnershipReply handles READMOD/TAS/SYNC replies on a column bus.
+//
+//multicube:fpexempt dispatched under snoopRow/snoopCol, which bump
 func (n *Node) colOwnershipReply(op *Op) {
 	switch {
 	case op.Flags.Has(INSERT):
@@ -507,6 +518,8 @@ func (n *Node) colOwnershipReply(op *Op) {
 // installShared writes the pending READ's line in shared mode and
 // completes the transaction. If an invalidating broadcast overtook the
 // reply, the data is stale: discard it and retry the request instead.
+//
+//multicube:fpexempt dispatched under snoopRow/snoopCol, which bump
 func (n *Node) installShared(op *Op) {
 	if !n.matchesPending(op) {
 		n.sys.strays++
@@ -530,6 +543,8 @@ func (n *Node) isQueuedTailFor(line cache.Line) bool {
 
 // poisonPendingRead marks an outstanding READ for line whose reply may now
 // deliver stale data.
+//
+//multicube:fpexempt dispatched under snoopRow/snoopCol, which bump
 func (n *Node) poisonPendingRead(line cache.Line) {
 	if n.sys.DisableStaleReplyPoisoning {
 		return // test hook: reproduce the protocol gap of DESIGN.md §5.6a
@@ -542,6 +557,8 @@ func (n *Node) poisonPendingRead(line cache.Line) {
 // installOwned writes the pending request's line in modified mode
 // (merging into a reserved copy for SYNC, zero-filling for ALLOCATE) and
 // completes the transaction.
+//
+//multicube:fpexempt dispatched under snoopRow/snoopCol, which bump
 func (n *Node) installOwned(op *Op) {
 	if !n.matchesPending(op) {
 		if op.Data != nil && op.Txn != READ {
@@ -573,6 +590,8 @@ func (n *Node) installOwned(op *Op) {
 
 // snarf acquires a passing unmodified line into a retained-tag slot in
 // shared mode (Section 3), when enabled.
+//
+//multicube:fpexempt dispatched under snoopRow/snoopCol, which bump
 func (n *Node) snarf(op *Op) {
 	if !n.sys.cfg.Snarf || op.Txn != READ || op.Data == nil {
 		return

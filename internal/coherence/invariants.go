@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"multicube/internal/cache"
 	"multicube/internal/memory"
@@ -69,8 +70,23 @@ func CheckInvariants(s *System) []error {
 		}
 	}
 
+	// Visit lines in sorted order everywhere below: the error list is
+	// compared textually by tests and counterexample reports, so its order
+	// must not depend on map iteration.
+	holderLines := make([]cache.Line, 0, len(holders))
+	for line := range holders {
+		holderLines = append(holderLines, line)
+	}
+	sort.Slice(holderLines, func(i, j int) bool { return holderLines[i] < holderLines[j] })
+	sharerLines := make([]cache.Line, 0, len(sharers))
+	for line := range sharers {
+		sharerLines = append(sharerLines, line)
+	}
+	sort.Slice(sharerLines, func(i, j int) bool { return sharerLines[i] < sharerLines[j] })
+
 	// 1: single holder; no sharers alongside a modified copy.
-	for line, hs := range holders {
+	for _, line := range holderLines {
+		hs := holders[line]
 		if len(hs) > 1 {
 			errs = append(errs, fmt.Errorf("line %d modified in %d caches: %v and %v",
 				line, len(hs), hs[0].id, hs[1].id))
@@ -106,13 +122,13 @@ func CheckInvariants(s *System) []error {
 		}
 	}
 	seen := make(map[cache.Line]bool)
-	for line := range holders {
+	for _, line := range holderLines {
 		if !seen[line] {
 			seen[line] = true
 			checkLine(line)
 		}
 	}
-	for line := range sharers {
+	for _, line := range sharerLines {
 		if !seen[line] {
 			seen[line] = true
 			checkLine(line)
@@ -129,26 +145,29 @@ func CheckInvariants(s *System) []error {
 			}
 		}
 		want := make(map[mlt.Line]bool)
-		for _, hs := range holders {
-			_ = hs
-		}
-		for line, hs := range holders {
-			for _, h := range hs {
+		for _, line := range holderLines {
+			for _, h := range holders[line] {
 				if h.id.Col == c {
 					want[mlt.Line(line)] = true
 				}
 			}
 		}
 		got := make(map[mlt.Line]bool)
-		for _, l := range ref.Lines() {
+		gotKeys := ref.Lines() // already sorted by the table
+		for _, l := range gotKeys {
 			got[l] = true
 		}
+		wantKeys := make([]mlt.Line, 0, len(want))
 		for l := range want {
+			wantKeys = append(wantKeys, l)
+		}
+		sort.Slice(wantKeys, func(i, j int) bool { return wantKeys[i] < wantKeys[j] })
+		for _, l := range wantKeys {
 			if !got[l] {
 				errs = append(errs, fmt.Errorf("column %d: line %d modified in column but missing from MLT", c, l))
 			}
 		}
-		for l := range got {
+		for _, l := range gotKeys {
 			if !want[l] {
 				errs = append(errs, fmt.Errorf("column %d: MLT entry for line %d with no modified copy in column", c, l))
 			}

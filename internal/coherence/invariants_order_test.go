@@ -1,0 +1,62 @@
+package coherence
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"multicube/internal/cache"
+	"multicube/internal/sim"
+	"multicube/internal/topology"
+)
+
+// TestCheckInvariantsDeterministicOrder guards the determinism fix in
+// CheckInvariants: violation lines are visited in sorted order, so with
+// many corrupted lines the error list is identical run to run and
+// ascending by line — not subject to map iteration order, which tests
+// and counterexample reports comparing the list textually would see.
+func TestCheckInvariantsDeterministicOrder(t *testing.T) {
+	build := func() *System {
+		s := MustNewSystem(sim.NewKernel(), Config{N: 2, BlockWords: 2})
+		for l := 0; l < 8; l++ {
+			s.Node(topology.Coord{Row: 0, Col: 0}).Cache().Insert(cache.Line(l), Modified, nil)
+			s.Node(topology.Coord{Row: 1, Col: 1}).Cache().Insert(cache.Line(l), Modified, nil)
+		}
+		return s
+	}
+	render := func(errs []error) string {
+		var b strings.Builder
+		for _, e := range errs {
+			b.WriteString(e.Error())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+
+	want := render(CheckInvariants(build()))
+	if want == "" {
+		t.Fatal("doubly-held modified lines produced no invariant errors")
+	}
+	for i := 0; i < 30; i++ {
+		if got := render(CheckInvariants(build())); got != want {
+			t.Fatalf("run %d error list differs:\n--- got ---\n%s--- want ---\n%s", i, got, want)
+		}
+	}
+
+	prev := -1
+	seen := 0
+	for _, line := range strings.Split(want, "\n") {
+		var l, n int
+		if _, err := fmt.Sscanf(line, "line %d modified in %d caches", &l, &n); err != nil {
+			continue
+		}
+		seen++
+		if l <= prev {
+			t.Fatalf("multiple-holder errors not ascending by line:\n%s", want)
+		}
+		prev = l
+	}
+	if seen != 8 {
+		t.Fatalf("expected 8 multiple-holder errors, found %d:\n%s", seen, want)
+	}
+}

@@ -21,6 +21,8 @@ type Memory struct {
 
 	// gen counts mutations of fingerprint-visible memory state; every
 	// store mutation happens inside snoop, which bumps it.
+	//
+	//multicube:gencounter
 	gen uint64
 }
 
@@ -75,6 +77,7 @@ column bus request for unmodified data; memory supplies the desired
 
 	data if the line is valid, else it reissues the request
 */
+//multicube:fpexempt dispatched under snoop, which bumps
 func (m *Memory) handleRequest(op *Op) {
 	m.checkHome(op)
 	line := memory.Line(op.Line)

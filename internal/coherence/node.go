@@ -1,3 +1,8 @@
+// The package participates in the explorer's determinism contract: no
+// wall clock, no map-order dependence, no scheduling outside the chooser
+// seam. multicube-vet enforces this (see internal/analysis).
+//
+//multicube:deterministic
 package coherence
 
 import (
@@ -36,11 +41,15 @@ type pending struct {
 	// stale the moment it lands and must be discarded and re-requested.
 	// (The snooping controller observes every operation on its buses, so
 	// detecting this costs no extra hardware.)
+	//
+	//multicube:fpfield guard=Node
 	poisoned bool
 	// queued records that our SYNC join was admitted to the distributed
 	// queue (a QUEUED notification arrived): our reserved copy is now
 	// the queue tail and must answer requests routed to this column. A
 	// reserved copy whose join is still in flight must stay silent.
+	//
+	//multicube:fpfield guard=Node
 	queued bool
 }
 
@@ -67,8 +76,12 @@ type Node struct {
 
 	rowIdx, colIdx int
 
-	pend   *pending
-	wbCont func() // "continue request" for the outstanding WRITEBACK
+	//multicube:fpfield
+	pend *pending
+	// wbCont is the "continue request" for the outstanding WRITEBACK.
+	//
+	//multicube:fpfield
+	wbCont func()
 
 	// OnInvalidate, when set, is called whenever a line leaves the
 	// snooping cache for coherence reasons; the machine layer uses it to
@@ -84,6 +97,8 @@ type Node struct {
 	// entry point that can mutate the node — processor-side APIs and the
 	// two snoop dispatchers — which over-approximates actual change;
 	// FPCache compares it to skip rehashing unchanged nodes.
+	//
+	//multicube:gencounter
 	gen uint64
 
 	stats NodeStats
@@ -288,6 +303,7 @@ func (n *Node) WriteBack(line cache.Line, done func(Result)) {
 		return
 	}
 	trace := &TxnTrace{Txn: WRITEBACK, Line: line, Started: n.sys.k.Now()}
+	//multicube:fpexempt continuation of WriteBack, which bumped at entry
 	n.startWriteback(line, trace, func() {
 		// "mark line shared" — the generic (non-victim) path.
 		if e, ok := n.l2.Lookup(line); ok && e.State == Modified {
@@ -311,6 +327,7 @@ func (n *Node) CacheEntry(line cache.Line) *cache.Entry {
 
 // --- transaction initiation ----------------------------------------------
 
+//multicube:fpexempt called only from processor entry points, which bump
 func (n *Node) beginPending(txn Txn, flags Flags, line cache.Line, done func(Result)) {
 	if n.pend != nil {
 		panic(fmt.Sprintf("coherence: node %v issued %v(%d) with %v(%d) outstanding",
@@ -333,6 +350,7 @@ func (n *Node) startTransaction(txn Txn, flags Flags, line cache.Line, done func
 	if v != nil && v.State == Modified {
 		victim := v.Line
 		wbTrace := &TxnTrace{Txn: WRITEBACK, Line: victim, Started: n.sys.k.Now()}
+		//multicube:fpexempt continuation of an entry point that bumped
 		n.startWriteback(victim, wbTrace, func() {
 			// "wait for continue; mark line invalid" — the victim slot
 			// is freed for the incoming line.
@@ -348,6 +366,8 @@ func (n *Node) startTransaction(txn Txn, flags Flags, line cache.Line, done func
 
 // startWriteback initiates WRITEBACK(COLUMN, REMOVE) for a modified line
 // and runs cont when the protocol signals "continue request".
+//
+//multicube:fpexempt called only from entry points that bump
 func (n *Node) startWriteback(line cache.Line, trace *TxnTrace, cont func()) {
 	if n.wbCont != nil {
 		panic(fmt.Sprintf("coherence: node %v has two outstanding writebacks", n.id))
@@ -357,6 +377,8 @@ func (n *Node) startWriteback(line cache.Line, trace *TxnTrace, cont func()) {
 }
 
 // complete finishes the outstanding transaction, if it matches.
+//
+//multicube:fpexempt called only under the snoop dispatchers, which bump
 func (n *Node) complete(op *Op, res Result) {
 	p := n.pend
 	if p == nil || p.line != op.Line || p.txn != op.Txn {
@@ -388,6 +410,8 @@ func (n *Node) notifyInvalidate(line cache.Line) {
 // entry. Installation never displaces a modified line: the initiation
 // procedure wrote back and invalidated a modified victim before issuing
 // the request, so the set has a free or clean slot.
+//
+//multicube:fpexempt called only under the snoop dispatchers, which bump
 func (n *Node) writeLine(line cache.Line, state cache.State, data []uint64) *cache.Entry {
 	v := n.l2.Insert(line, state, data)
 	if v.Displaced && v.State == Modified {
@@ -408,6 +432,8 @@ func (n *Node) writeLine(line cache.Line, state cache.State, data []uint64) *cac
 // this node, is written back to memory and marked shared. Every node in
 // the column runs the same deterministic replacement, so exactly one node
 // (the holder) performs the writeback.
+//
+//multicube:fpexempt called only under the snoop dispatchers, which bump
 func (n *Node) tableInsert(line cache.Line, trace *TxnTrace) {
 	victim, overflow := n.table.Insert(mlt.Line(line))
 	if !overflow {

@@ -17,6 +17,8 @@ import (
 // holding the modified line. On success the line moves to the requester
 // (like a READMOD); on failure only the notification of failure is
 // returned and the line remains here.
+//
+//multicube:fpexempt dispatched under snoopRow/snoopCol, which bump
 func (n *Node) serveTASFromModified(op *Op, e *cache.Entry) {
 	if e.Data[LockWord] == 0 {
 		e.Data[LockWord] = 1 // the set happens at the executor
@@ -33,6 +35,8 @@ func (n *Node) serveTASFromModified(op *Op, e *cache.Entry) {
 // serveSyncAtHolder handles a SYNC join arriving at the current queue
 // tail — "the node with the copy at the end of the queue (or the modified
 // copy, if there is no queue) receives the request".
+//
+//multicube:fpexempt dispatched under snoopRow/snoopCol, which bump
 func (n *Node) serveSyncAtHolder(op *Op, e *cache.Entry) {
 	if e.State == Modified && e.Data[LockWord] == 0 {
 		// Lock free, no queue: hand the line over immediately with the
@@ -108,6 +112,8 @@ func (n *Node) colReplyFail(op *Op) {
 // failPending completes an outstanding TAS with failure, or an
 // outstanding SYNC with the fall-back-to-spinning result (cleaning up the
 // reserved copy allocated at join time).
+//
+//multicube:fpexempt dispatched under snoopRow/snoopCol, which bump
 func (n *Node) failPending(op *Op) {
 	if !n.matchesPending(op) {
 		n.sys.strays++
@@ -146,6 +152,8 @@ func (n *Node) colReplyQueued(op *Op) {
 // of the new tail of the queue" — the REQUEST|REMOVE deleted it from the
 // old tail's column; we insert it into ours. The acquire itself stays
 // pending until the XFER handoff arrives.
+//
+//multicube:fpexempt dispatched under snoopRow/snoopCol, which bump
 func (n *Node) syncQueued(op *Op) {
 	if !n.matchesPending(op) {
 		// A fast XFER can overtake the (cache-latency-delayed) QUEUED
@@ -183,6 +191,8 @@ func (n *Node) colXfer(op *Op) {
 // consumeXfer receives a forwarded lock line: the reserved copy becomes
 // modified, keeping its own link word (which may already name our
 // successor), and the waiting acquire completes holding the lock.
+//
+//multicube:fpexempt dispatched under snoopRow/snoopCol, which bump
 func (n *Node) consumeXfer(op *Op) {
 	e := n.l2.Probe(op.Line)
 	if e == nil || e.State != Reserved {
@@ -233,6 +243,7 @@ func (n *Node) SyncAcquire(line cache.Line, done func(Result)) {
 		}
 	}
 	n.beginPending(SYNC, 0, line, done)
+	//multicube:fpexempt continuation of SyncAcquire, which bumped at entry
 	issue := func() {
 		e := n.writeLine(line, Reserved, nil)
 		e.Pinned = true
@@ -242,6 +253,7 @@ func (n *Node) SyncAcquire(line cache.Line, done func(Result)) {
 	if v != nil && v.State == Modified {
 		victim := v.Line
 		wbTrace := &TxnTrace{Txn: WRITEBACK, Line: victim, Started: n.sys.k.Now()}
+		//multicube:fpexempt continuation of SyncAcquire, which bumped at entry
 		n.startWriteback(victim, wbTrace, func() {
 			n.l2.Invalidate(victim)
 			n.notifyInvalidate(victim)

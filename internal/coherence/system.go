@@ -341,6 +341,7 @@ func (s *System) ColBus(i int) *bus.Bus { return s.cols[i] }
 // Stats returns the per-transaction aggregates keyed by type.
 func (s *System) Stats() map[Txn]TxnStats {
 	out := make(map[Txn]TxnStats, len(s.txnStats))
+	//multicube:detrange-ok map-to-map copy; no order-visible effect
 	for t, st := range s.txnStats {
 		out[t] = *st
 	}

@@ -1,3 +1,8 @@
+// The package participates in the explorer's determinism contract: no
+// wall clock, no map-order dependence, no scheduling outside the chooser
+// seam. multicube-vet enforces this (see internal/analysis).
+//
+//multicube:deterministic
 package mc
 
 import (
@@ -685,6 +690,10 @@ func (e *explorer) passParallel(depth, workers int) passOut {
 	}
 	wg.Add(workers)
 	for i := 0; i < workers; i++ {
+		// Workers race on the shared frontier, but results are merged into
+		// canonical order and every counterexample is re-derived by a
+		// sequential replay, so the explored verdict is schedule-independent.
+		//multicube:chooser-ok worker pool; results canonicalized and replays sequential
 		go worker()
 	}
 	wg.Wait()

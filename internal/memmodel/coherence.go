@@ -1,6 +1,9 @@
 package memmodel
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Per-address coherence is the property every cache-coherence protocol
 // must provide: for each address, all writes form a single total order,
@@ -71,8 +74,17 @@ func (h *History) writeOrders() (map[uint64]map[uint64]int, error) {
 		m[e.Old] = link{val: e.Value, proc: e.Proc}
 	}
 	// Walk each chain from the initial value 0 to assign positions.
+	// Addresses are visited in sorted order: when several are corrupt,
+	// which violation gets reported must not depend on map iteration
+	// (internal/mc compares counterexample messages textually).
 	pos := make(map[uint64]map[uint64]int) // addr -> value -> position
-	for addr, m := range succ {
+	addrs := make([]uint64, 0, len(succ))
+	for addr := range succ {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		m := succ[addr]
 		p := map[uint64]int{0: 0}
 		v, i := uint64(0), 0
 		for {
@@ -86,9 +98,16 @@ func (h *History) writeOrders() (map[uint64]map[uint64]int, error) {
 		}
 		if len(p) != len(m)+1 {
 			// Some write's predecessor is neither 0 nor another write:
-			// it observed a value that never existed.
-			for old, nxt := range m {
+			// it observed a value that never existed. Report the smallest
+			// dangling predecessor, deterministically.
+			olds := make([]uint64, 0, len(m))
+			for old := range m {
+				olds = append(olds, old)
+			}
+			sort.Slice(olds, func(i, j int) bool { return olds[i] < olds[j] })
+			for _, old := range olds {
 				if _, ok := p[old]; !ok {
+					nxt := m[old]
 					return nil, fmt.Errorf("line %d: write %d (proc %d) overwrote value %d, which no write produced",
 						addr, nxt.val, nxt.proc, old)
 				}

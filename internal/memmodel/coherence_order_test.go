@@ -1,0 +1,51 @@
+package memmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCoherenceErrorDeterministic guards the determinism fix in
+// writeOrders: when several addresses are corrupt, the reported
+// violation must always be the smallest address (and within one address,
+// the smallest dangling predecessor), so that internal/mc's textual
+// counterexample comparison is stable across runs.
+func TestCoherenceErrorDeterministic(t *testing.T) {
+	t.Run("smallest address wins", func(t *testing.T) {
+		build := func() *History {
+			h := NewHistory()
+			// Ten corrupt addresses: every write observed a predecessor
+			// value no write produced. Insert high-to-low so sortedness
+			// cannot come from insertion order.
+			for a := 10; a >= 1; a-- {
+				h.Write(0, uint64(a), uint64(100+a), uint64(a))
+			}
+			return h
+		}
+		err := build().CheckCoherence()
+		if err == nil {
+			t.Fatal("corrupt history passed CheckCoherence")
+		}
+		if !strings.HasPrefix(err.Error(), "line 1:") {
+			t.Fatalf("error should name the smallest corrupt address: %v", err)
+		}
+		for i := 0; i < 30; i++ {
+			if got := build().CheckCoherence(); got == nil || got.Error() != err.Error() {
+				t.Fatalf("run %d error differs: %v vs %v", i, got, err)
+			}
+		}
+	})
+
+	t.Run("smallest dangling predecessor wins", func(t *testing.T) {
+		h := NewHistory()
+		h.Write(0, 5, 60, 1) // observed 60, never produced
+		h.Write(1, 5, 50, 2) // observed 50, never produced
+		err := h.CheckCoherence()
+		if err == nil {
+			t.Fatal("dangling predecessors passed CheckCoherence")
+		}
+		if !strings.Contains(err.Error(), "overwrote value 50") {
+			t.Fatalf("error should name the smallest dangling predecessor: %v", err)
+		}
+	})
+}

@@ -34,6 +34,11 @@
 // LB, WRC, IRIW, CoRR, CoWW) once; internal/mc compiles them to bounded
 // model-checking scenarios and internal/workload compiles them to timed
 // DES stress programs, with this package judging the histories of both.
+// The package participates in the explorer's determinism contract: no
+// wall clock, no map-order dependence, no scheduling outside the chooser
+// seam. multicube-vet enforces this (see internal/analysis).
+//
+//multicube:deterministic
 package memmodel
 
 import "fmt"

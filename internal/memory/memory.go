@@ -10,6 +10,11 @@
 //
 // The store is purely functional state: latency and bus behaviour are
 // modeled by the coherence package's memory agent.
+// The package participates in the explorer's determinism contract: no
+// wall clock, no map-order dependence, no scheduling outside the chooser
+// seam. multicube-vet enforces this (see internal/analysis).
+//
+//multicube:deterministic
 package memory
 
 import (
@@ -136,9 +141,11 @@ func (s *Store) ForEach(fn func(line Line, valid bool, data []uint64)) {
 			lines = append(lines, l)
 		}
 	}
+	//multicube:detrange-ok keys feed the sort below via add
 	for l := range s.data {
 		add(l)
 	}
+	//multicube:detrange-ok keys feed the sort below via add
 	for l := range s.invalid {
 		add(l)
 	}

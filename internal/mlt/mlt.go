@@ -11,6 +11,11 @@
 // cache"). Replacement is deterministic (LRU over insertions), so that
 // every table in a column evicts the same entry for the same operation
 // sequence — the property the protocol's overflow handling relies on.
+// The package participates in the explorer's determinism contract: no
+// wall clock, no map-order dependence, no scheduling outside the chooser
+// seam. multicube-vet enforces this (see internal/analysis).
+//
+//multicube:deterministic
 package mlt
 
 import (

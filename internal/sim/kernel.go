@@ -12,6 +12,11 @@
 // program goroutine and the kernel so that no two goroutines ever touch
 // kernel state concurrently. Determinism is preserved because at most one
 // goroutine runs at a time.
+// The package participates in the explorer's determinism contract: no
+// wall clock, no map-order dependence, no scheduling outside the chooser
+// seam. multicube-vet enforces this (see internal/analysis).
+//
+//multicube:deterministic
 package sim
 
 import (

@@ -27,6 +27,10 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		name:   name,
 	}
 	k.procs = append(k.procs, p)
+	// The goroutine is a coroutine, not a concurrent actor: control is
+	// handed over explicitly through resume/yield, and only one side runs
+	// at a time. This is the mechanism the chooser seam is built on.
+	//multicube:chooser-ok coroutine pump; strictly alternating handoff, no races
 	go func() {
 		<-p.resume // wait for the kernel to hand over control
 		fn(p)

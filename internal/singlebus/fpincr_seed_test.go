@@ -1,0 +1,30 @@
+package singlebus
+
+import "testing"
+
+// TestSeedMemoryBumpsMemoryGeneration is the regression test for a bump
+// the genbump analyzer itself flagged during the audit: SeedMemory
+// mutates memory contents directly, so a fingerprint taken after seeding
+// must not reuse the cached memory hash. Without the bump, a snapshot
+// taken before seeding makes the post-seed state hash-equal to the
+// pre-seed one and the explorer would merge distinct states.
+func TestSeedMemoryBumpsMemoryGeneration(t *testing.T) {
+	m := MustNew(Config{Processors: 2, BlockWords: 2})
+	ident := []int{0, 1}
+
+	f := NewFPCache(m)
+	f.BeginPoint(nil)
+	before := f.FP(ident, ident)
+
+	gen := m.mem.gen
+	m.SeedMemory(0, []uint64{7})
+	if m.mem.gen == gen {
+		t.Fatal("SeedMemory did not bump the memory generation counter")
+	}
+
+	f.BeginPoint(nil)
+	after := f.FP(ident, ident)
+	if before == after {
+		t.Fatal("fingerprint unchanged after SeedMemory: seeded memory would be merged with the unseeded state")
+	}
+}

@@ -1,0 +1,59 @@
+package singlebus
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"multicube/internal/cache"
+)
+
+// TestCheckInvariantsDeterministicOrder guards the determinism fix in
+// CheckInvariants: lines are visited in sorted order, so the error list
+// for a many-line corruption is identical run to run and ascending by
+// line rather than following map iteration order.
+func TestCheckInvariantsDeterministicOrder(t *testing.T) {
+	build := func() *Machine {
+		m := MustNew(Config{Processors: 3, BlockWords: 2})
+		for l := 0; l < 8; l++ {
+			m.Processor(0).Cache().Insert(cache.Line(l), Dirty, nil)
+			m.Processor(1).Cache().Insert(cache.Line(l), Dirty, nil)
+		}
+		return m
+	}
+	render := func(errs []error) string {
+		var b strings.Builder
+		for _, e := range errs {
+			b.WriteString(e.Error())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+
+	want := render(CheckInvariants(build()))
+	if want == "" {
+		t.Fatal("doubly-dirty lines produced no invariant errors")
+	}
+	for i := 0; i < 30; i++ {
+		if got := render(CheckInvariants(build())); got != want {
+			t.Fatalf("run %d error list differs:\n--- got ---\n%s--- want ---\n%s", i, got, want)
+		}
+	}
+
+	prev := -1
+	seen := 0
+	for _, line := range strings.Split(want, "\n") {
+		var l, n int
+		if _, err := fmt.Sscanf(line, "line %d exclusive in %d caches", &l, &n); err != nil {
+			continue
+		}
+		seen++
+		if l <= prev {
+			t.Fatalf("multiple-holder errors not ascending by line:\n%s", want)
+		}
+		prev = l
+	}
+	if seen != 8 {
+		t.Fatalf("expected 8 multiple-holder errors, found %d:\n%s", seen, want)
+	}
+}

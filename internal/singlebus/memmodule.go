@@ -2,6 +2,7 @@ package singlebus
 
 import (
 	"fmt"
+	"sort"
 
 	"multicube/internal/bus"
 	"multicube/internal/cache"
@@ -19,6 +20,8 @@ type memModule struct {
 
 	// gen counts mutations of fingerprint-visible memory state; every
 	// store mutation happens inside snoop, which bumps it.
+	//
+	//multicube:gencounter
 	gen uint64
 }
 
@@ -88,7 +91,20 @@ func CheckInvariants(m *Machine) []error {
 			}
 		})
 	}
-	for line, hs := range holders {
+	// Iterate lines in sorted order so the error list — which tests and
+	// counterexample reports compare textually — is identical run to run.
+	holderLines := make([]cache.Line, 0, len(holders))
+	for line := range holders {
+		holderLines = append(holderLines, line)
+	}
+	sort.Slice(holderLines, func(i, j int) bool { return holderLines[i] < holderLines[j] })
+	sharerLines := make([]cache.Line, 0, len(sharers))
+	for line := range sharers {
+		sharerLines = append(sharerLines, line)
+	}
+	sort.Slice(sharerLines, func(i, j int) bool { return sharerLines[i] < sharerLines[j] })
+	for _, line := range holderLines {
+		hs := holders[line]
 		if len(hs) > 1 {
 			errs = append(errs, errf("line %d exclusive in %d caches", line, len(hs)))
 		}
@@ -96,7 +112,8 @@ func CheckInvariants(m *Machine) []error {
 			errs = append(errs, errf("line %d exclusive at %d but shared at %v", line, hs[0].id, sharers[line]))
 		}
 	}
-	for line, ids := range sharers {
+	for _, line := range sharerLines {
+		ids := sharers[line]
 		if _, dirty := holders[line]; dirty {
 			continue
 		}
@@ -115,7 +132,8 @@ func CheckInvariants(m *Machine) []error {
 		}
 	}
 	// Reserved lines must equal memory (written through exactly once).
-	for line, hs := range holders {
+	for _, line := range holderLines {
+		hs := holders[line]
 		for _, h := range hs {
 			if h.state != Reserved {
 				continue

@@ -24,6 +24,7 @@ type Processor struct {
 	cache  *cache.Cache
 	busIdx int
 
+	//multicube:fpfield
 	pend *pendReq
 
 	// wbuf is the write-back buffer: dirty victims flushed to the bus
@@ -32,11 +33,15 @@ type Processor struct {
 	// here (and cancels the queued flush) so the block's only copy is
 	// never invisible between victimization and the write-back's bus
 	// grant.
+	//
+	//multicube:fpfield
 	wbuf []*op
 
 	// gen counts mutations of fingerprint-visible processor state (cache
 	// contents, pending request); bumped conservatively at the mutating
 	// entry points so FPCache can skip rehashing unchanged processors.
+	//
+	//multicube:gencounter
 	gen uint64
 
 	loads, stores, hits uint64
@@ -111,6 +116,7 @@ func (p *Processor) StoreAsync(addr Addr, value uint64, done func(old uint64)) {
 	p.miss(opReadInv)
 }
 
+//multicube:fpexempt called only from entry points that bump (LoadAsync/StoreAsync/snoop)
 func (p *Processor) begin(r *pendReq) {
 	if p.pend != nil {
 		panic(fmt.Sprintf("singlebus: processor %d overlapping requests", p.id))
@@ -121,6 +127,8 @@ func (p *Processor) begin(r *pendReq) {
 
 // miss moves a dirty victim into the write-back buffer if needed, then
 // issues the atomic read transaction.
+//
+//multicube:fpexempt called only from entry points that bump (LoadAsync/StoreAsync/snoop)
 func (p *Processor) miss(kind opKind) {
 	line := p.pend.line
 	if v := p.cache.SelectVictim(line); v != nil && v.State == Dirty {
@@ -142,6 +150,7 @@ func (p *Processor) wbufFind(line cache.Line) *op {
 	return nil
 }
 
+//multicube:fpexempt called only from entry points that bump (LoadAsync/StoreAsync/snoop)
 func (p *Processor) wbufRemove(wb *op) {
 	for i, o := range p.wbuf {
 		if o == wb {
@@ -151,6 +160,7 @@ func (p *Processor) wbufRemove(wb *op) {
 	}
 }
 
+//multicube:fpexempt called only from entry points that bump (LoadAsync/StoreAsync/snoop)
 func (p *Processor) complete(value uint64) {
 	r := p.pend
 	p.pend = nil
@@ -255,6 +265,8 @@ func (p *Processor) snoop(o *op) {
 // fill installs the transaction's data block at the originator and
 // completes the processor request. Writes complete with the word value
 // they overwrote; reads with the word value observed.
+//
+//multicube:fpexempt called only from entry points that bump (LoadAsync/StoreAsync/snoop)
 func (p *Processor) fill(o *op, state cache.State) {
 	if p.pend == nil || p.pend.line != o.line {
 		panic(fmt.Sprintf("singlebus: processor %d fill without matching request", p.id))

@@ -15,6 +15,11 @@
 //
 // The first write to a Valid line is written through (one word on the
 // bus), invalidating other copies; subsequent writes stay local.
+// The package participates in the explorer's determinism contract: no
+// wall clock, no map-order dependence, no scheduling outside the chooser
+// seam. multicube-vet enforces this (see internal/analysis).
+//
+//multicube:deterministic
 package singlebus
 
 import (
@@ -215,6 +220,7 @@ func (m *Machine) Run() sim.Time { return m.k.Run() }
 
 // SeedMemory writes words directly into memory.
 func (m *Machine) SeedMemory(addr Addr, words []uint64) {
+	m.mem.gen++ // fingerprint-visible: seeding after a snapshot must rehash
 	bw := Addr(m.cfg.BlockWords)
 	for len(words) > 0 {
 		line := cache.Line(addr / bw)

@@ -8,6 +8,11 @@
 // The package provides node addressing, bus enumeration, home-bus mapping
 // for interleaved memory, and the scalability formulas the paper derives
 // (bus counts, bandwidth per processor, invalidation cost).
+// The package participates in the explorer's determinism contract: no
+// wall clock, no map-order dependence, no scheduling outside the chooser
+// seam. multicube-vet enforces this (see internal/analysis).
+//
+//multicube:deterministic
 package topology
 
 import "fmt"
