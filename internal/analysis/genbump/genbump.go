@@ -41,7 +41,12 @@
 // or stored closures are invisible to the pass. The protocol entry points
 // (snoop dispatchers, processor-side APIs) bump unconditionally, which is
 // what makes the per-function convention — and hence this mechanical check
-// — sound in practice.
+// — sound in practice. The interface-dispatch case is pinned as an
+// executable fixture rather than prose alone: testdata/ifacegap holds a
+// statically-dispatched mutation (flagged) next to its
+// interface-dispatched twin (not flagged), and TestIfaceGapIsStillOpen
+// fails the moment the gap closes, forcing the stronger behavior to be
+// locked in deliberately.
 package genbump
 
 import (

@@ -105,6 +105,40 @@ func TestDetectsStrippedBumpBus(t *testing.T) {
 	}
 }
 
+// TestIfaceGapIsStillOpen pins the pass's documented blind spot with a
+// live fixture instead of prose alone: an interface-dispatched call to
+// an exempted mutator is NOT charged with the bump obligation, while
+// the statically-dispatched twin is. The fixture's want comments assert
+// today's behavior exactly — one rule-B finding on DirectCaller,
+// nothing on IfaceCaller.
+//
+// TODO(genbump): model interface dispatch (charge every same-package
+// implementation of an interface whose method set touches registered
+// state). When that lands, IfaceCaller gains a finding, this test's
+// count below goes to 2, and the fixture's TODO want comment moves.
+func TestIfaceGapIsStillOpen(t *testing.T) {
+	findings := analysistest.Run(t, filepath.Join("testdata", "ifacegap"), genbump.Analyzer)
+	if len(findings) != 1 {
+		t.Fatalf("ifacegap fixture produced %d findings, want exactly 1 (the static-dispatch control):\n%s",
+			len(findings), render(findings))
+	}
+	pos := findings[0].Pkg.Fset.Position(findings[0].Diag.Pos)
+	if !strings.Contains(findings[0].Diag.Message, "DirectCaller") {
+		t.Errorf("the single finding should be DirectCaller's, got: %s", findings[0].Diag.Message)
+	}
+	// The gap itself: nothing fires on IfaceCaller's line. If a finding
+	// ever lands there, the blind spot has been closed — update this
+	// test and the fixture to lock in the new, stronger behavior.
+	src, err := os.ReadFile(filepath.Join("testdata", "ifacegap", "ifacegap.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifaceLine := 1 + bytes.Count(src[:bytes.Index(src, []byte("func IfaceCaller"))], []byte("\n"))
+	if pos.Line == ifaceLine {
+		t.Fatalf("finding landed on IfaceCaller (line %d): the interface-dispatch gap closed — update this test", ifaceLine)
+	}
+}
+
 func render(fs []analysis.Finding) string {
 	var b strings.Builder
 	for _, f := range fs {

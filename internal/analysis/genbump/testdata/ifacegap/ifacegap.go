@@ -1,0 +1,54 @@
+// Package ifacegap pins down genbump's accepted blind spot: a
+// fingerprint-visible write reached only through an interface-dispatched
+// call. Rule B's obligation propagation walks static same-package calls,
+// so DirectCaller below is flagged while IfaceCaller — the same
+// mutation, same package, same missing bump — is not. The fixture keeps
+// the gap visible: the day the pass models interface dispatch,
+// IfaceCaller starts needing a want comment and this file fails loudly.
+package ifacegap
+
+// Counter carries fingerprint-visible state guarded by gen.
+type Counter struct {
+	data []uint64 //multicube:fpfield
+
+	//multicube:gencounter
+	gen uint64
+}
+
+// mutator abstracts the state change; calls through it are invisible to
+// rule B's static call graph.
+type mutator interface {
+	Mutate(c *Counter)
+}
+
+type rawMutator struct{}
+
+//multicube:fpexempt callers own the generation bump
+func (rawMutator) Mutate(c *Counter) {
+	c.data[0]++
+}
+
+// DirectCaller reaches the exempted write through a static call, so
+// rule B charges it with the undischarged bump obligation.
+func DirectCaller(c *Counter) { // want `exported DirectCaller reaches fingerprint-visible writes`
+	rawMutator{}.Mutate(c)
+}
+
+// IfaceCaller performs the identical mutation through an interface
+// value and is NOT flagged today.
+//
+// TODO(genbump): once interface dispatch is modeled (e.g. by charging
+// every same-package implementation of a method set that touches
+// registered state), this function must be flagged like DirectCaller;
+// move the want comment here and update TestIfaceGapIsStillOpen.
+func IfaceCaller(c *Counter, m mutator) {
+	m.Mutate(c)
+}
+
+// BumpedIfaceCaller shows the sound usage pattern the convention relies
+// on: entry points bump unconditionally, so the invisible call is
+// harmless.
+func BumpedIfaceCaller(c *Counter, m mutator) {
+	c.gen++
+	m.Mutate(c)
+}

@@ -1,0 +1,157 @@
+package farm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentClientsExactlyOnceExecution is the -race stress for the
+// farm's core promise: under a storm of duplicate submissions from many
+// clients, each unique fingerprint executes exactly once, every
+// accepted job reaches a terminal state, the hit accounting adds up,
+// and shutdown is clean.
+func TestConcurrentClientsExactlyOnceExecution(t *testing.T) {
+	s, err := New(Config{
+		Workers:    4,
+		QueueDepth: 256, // deep enough that backpressure never triggers
+		CacheDir:   t.TempDir(),
+		RatePerSec: -1,
+		JobTimeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A small pool of unique cheap jobs; most submissions duplicate one.
+	const uniq = 6
+	specs := make([]string, uniq)
+	for i := range specs {
+		specs[i] = fmt.Sprintf(
+			`{"kind":"swarm","swarm":{"base_seed":%d,"count":1,"machines":"multicube","max_states":1500}}`, 100+i)
+	}
+
+	const clients = 8
+	const perClient = 30
+	var (
+		mu      sync.Mutex
+		jobIDs  []string
+		cached  int
+		deduped int
+		queued  int
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				spec := specs[(c+i)%uniq]
+				resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(spec))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var st jobStatus
+				json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+					t.Errorf("submit = %d", resp.StatusCode)
+					return
+				}
+				mu.Lock()
+				switch {
+				case st.Cached:
+					cached++
+				case st.Deduped:
+					deduped++
+				default:
+					queued++
+					jobIDs = append(jobIDs, st.JobID)
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Every accepted job must reach a terminal state: no losses.
+	for _, id := range jobIDs {
+		st := waitDone(t, ts, id)
+		if st.Status != StateDone {
+			t.Fatalf("job %s = %q, want done", id, st.Status)
+		}
+	}
+
+	total := clients * perClient
+	if cached+deduped+queued != total {
+		t.Fatalf("accounting: %d cached + %d deduped + %d queued != %d submitted", cached, deduped, queued, total)
+	}
+	// Exactly-once: each unique fingerprint created exactly one job.
+	// More would be a double run; fewer would mean a client was answered
+	// from a cache no one filled.
+	if queued != uniq {
+		t.Fatalf("executions = %d, want exactly %d (one per unique fingerprint)", queued, uniq)
+	}
+	s.mu.Lock()
+	nJobs := len(s.jobs)
+	inflight := len(s.byFP)
+	s.mu.Unlock()
+	if nJobs != uniq {
+		t.Fatalf("server tracked %d jobs, want %d", nJobs, uniq)
+	}
+	if inflight != 0 {
+		t.Fatalf("%d fingerprints still marked in-flight after completion", inflight)
+	}
+
+	// Server-side counters must tell the same story.
+	m := s.ctr.snapshot(s.start)
+	if m.JobsSubmitted != uint64(total) || m.JobsCompleted != uniq {
+		t.Fatalf("metrics: submitted=%d completed=%d, want %d/%d", m.JobsSubmitted, m.JobsCompleted, total, uniq)
+	}
+	if got := m.CacheHitsMemory + m.CacheHitsDisk + m.DedupHits; got != uint64(total-uniq) {
+		t.Fatalf("metrics hits = %d, want %d", got, total-uniq)
+	}
+	if m.CacheMisses != uniq {
+		t.Fatalf("metrics misses = %d, want %d", m.CacheMisses, uniq)
+	}
+
+	// Duplicate submissions of each unique spec now serve byte-identical
+	// bytes from cache.
+	for _, spec := range specs {
+		var payloads [][]byte
+		for i := 0; i < 2; i++ {
+			resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(spec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st jobStatus
+			json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if !st.Cached {
+				t.Fatalf("post-storm submit not cached: %+v", st)
+			}
+			payloads = append(payloads, st.Result)
+		}
+		if !bytes.Equal(payloads[0], payloads[1]) {
+			t.Fatal("repeated cache hits disagree byte-wise")
+		}
+	}
+
+	// Clean shutdown: nothing in flight, so the drain must be immediate
+	// and error-free.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+}

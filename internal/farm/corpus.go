@@ -1,0 +1,165 @@
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"multicube/internal/farm/jobspec"
+)
+
+// Corpus is the persistent swarm regression set: every seed that ever
+// produced a violation, with enough context to replay it forever.
+// mc.SwarmScenario is a pure function of (seed, machine), so an entry
+// IS its reproduction — the farm institutionalizes autonomously-found
+// bugs the way PR 4's stale-shared-mp race was distilled by hand.
+// Entries are one JSON file each, written atomically; a directory of
+// them survives restarts and travels with the cache volume.
+type Corpus struct {
+	dir     string // "" = memory-only
+	mu      sync.Mutex
+	entries map[string]CorpusEntry
+}
+
+// CorpusEntry records one violating swarm seed.
+type CorpusEntry struct {
+	Seed      int64 `json:"seed"`
+	SingleBus bool  `json:"single_bus"`
+	// Kind and Msg describe the violation as first found.
+	Kind string `json:"kind"`
+	Msg  string `json:"msg"`
+	// MaxStates is the exploration budget that found it; replays use
+	// the same budget so the regression stays reachable.
+	MaxStates int `json:"max_states"`
+	// FoundBy is the fingerprint of the swarm job that caught it.
+	FoundBy string `json:"found_by,omitempty"`
+}
+
+func (e *CorpusEntry) key() string {
+	machine := "multicube"
+	if e.SingleBus {
+		machine = "singlebus"
+	}
+	return fmt.Sprintf("seed-%d-%s", e.Seed, machine)
+}
+
+// OpenCorpus loads the corpus at dir, creating it if missing; dir ""
+// keeps the corpus in memory only.
+func OpenCorpus(dir string) (*Corpus, error) {
+	c := &Corpus{dir: dir, entries: make(map[string]CorpusEntry)}
+	if dir == "" {
+		return c, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("farm: corpus dir: %w", err)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("farm: corpus scan: %w", err)
+	}
+	for _, f := range files {
+		if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, f.Name()))
+		if err != nil {
+			continue
+		}
+		var e CorpusEntry
+		if json.Unmarshal(b, &e) != nil || e.MaxStates <= 0 {
+			continue // corrupt entry: skip, don't fail startup
+		}
+		c.entries[e.key()] = e
+	}
+	return c, nil
+}
+
+// Add records a violating seed, returning false if it was already
+// known. New entries are persisted atomically before Add returns.
+func (c *Corpus) Add(e CorpusEntry) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := e.key()
+	if _, dup := c.entries[key]; dup {
+		return false, nil
+	}
+	if c.dir != "" {
+		b, err := json.MarshalIndent(e, "", " ")
+		if err != nil {
+			return false, err
+		}
+		path := filepath.Join(c.dir, key+".json")
+		tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+		if err != nil {
+			return false, fmt.Errorf("farm: corpus add: %w", err)
+		}
+		if _, err := tmp.Write(append(b, '\n')); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return false, fmt.Errorf("farm: corpus add: %w", err)
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return false, fmt.Errorf("farm: corpus add: %w", err)
+		}
+		if err := os.Rename(tmp.Name(), path); err != nil {
+			os.Remove(tmp.Name())
+			return false, fmt.Errorf("farm: corpus add: %w", err)
+		}
+	}
+	c.entries[key] = e
+	return true, nil
+}
+
+// Entries returns the corpus sorted by (seed, machine) — a stable order
+// for listings and replay batches.
+func (c *Corpus) Entries() []CorpusEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CorpusEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seed != out[j].Seed {
+			return out[i].Seed < out[j].Seed
+		}
+		return !out[i].SingleBus && out[j].SingleBus
+	})
+	return out
+}
+
+// Len reports the number of recorded seeds.
+func (c *Corpus) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// ReplaySpecs lowers every entry into a single-seed swarm job with the
+// budget that originally found the violation — the regression batch
+// POST /corpus/replay submits.
+func (c *Corpus) ReplaySpecs() []jobspec.Spec {
+	entries := c.Entries()
+	out := make([]jobspec.Spec, 0, len(entries))
+	for _, e := range entries {
+		machines := "multicube"
+		if e.SingleBus {
+			machines = "singlebus"
+		}
+		out = append(out, jobspec.Spec{
+			Kind: jobspec.KindSwarm,
+			Swarm: &jobspec.SwarmSpec{
+				BaseSeed:  e.Seed,
+				Count:     1,
+				Machines:  machines,
+				MaxStates: e.MaxStates,
+			},
+		})
+	}
+	return out
+}

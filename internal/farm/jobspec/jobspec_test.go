@@ -1,0 +1,192 @@
+package jobspec
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"multicube/internal/mc"
+	"multicube/internal/topology"
+)
+
+func specs(t *testing.T) []Spec {
+	t.Helper()
+	inline := &mc.Scenario{
+		Name: "inline-race",
+		Procs: []mc.Proc{
+			{At: topology.Coord{Row: 0, Col: 0}, Ops: []mc.ProcOp{{Kind: mc.OpWrite, Line: 0}, {Kind: mc.OpRead, Line: 0}}},
+			{At: topology.Coord{Row: 1, Col: 1}, Ops: []mc.ProcOp{{Kind: mc.OpWrite, Line: 0}}},
+		},
+	}
+	return []Spec{
+		{Kind: KindSim, Sim: &SimSpec{N: 2, Seed: 1<<63 + 12345, PShared: 0.3, PWrite: 0.1, Requests: 40}},
+		{Kind: KindMC, MC: &MCSpec{Preset: "sb-victim-race"}},
+		{Kind: KindMC, MC: &MCSpec{Scenario: inline, Options: MCOptions{MaxStates: 5000}}},
+		{Kind: KindLitmus, Litmus: &LitmusSpec{Test: "mp", Seeds: 2, Rounds: 2}},
+		{Kind: KindSwarm, Swarm: &SwarmSpec{BaseSeed: 9000, Count: 4}},
+	}
+}
+
+// TestCanonicalRoundTrip is the cache-key correctness foundation:
+// encode → decode → re-encode must be byte-identical, and the decoded
+// spec's fingerprint must equal the original's — across arbitrary JSON
+// re-marshaling, i.e. across processes.
+func TestCanonicalRoundTrip(t *testing.T) {
+	for _, s := range specs(t) {
+		c1, err := s.Canonical()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Kind, err)
+		}
+		fp1, err := s.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Kind, err)
+		}
+
+		// Decode the canonical bytes as a wire client would and re-encode.
+		var back Spec
+		if err := json.Unmarshal(c1, &back); err != nil {
+			t.Fatalf("%s: decoding canonical form: %v", s.Kind, err)
+		}
+		c2, err := back.Canonical()
+		if err != nil {
+			t.Fatalf("%s: re-canonicalizing: %v", s.Kind, err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("%s: canonical encoding not a fixed point:\n first: %s\nsecond: %s", s.Kind, c1, c2)
+		}
+		fp2, err := back.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Kind, err)
+		}
+		if fp1 != fp2 {
+			t.Fatalf("%s: fingerprint drifted across encode→decode: %s vs %s", s.Kind, fp1, fp2)
+		}
+	}
+}
+
+// TestDefaultsDoNotSplitIdentity: a spec with defaults omitted and one
+// with them spelled out are the same job.
+func TestDefaultsDoNotSplitIdentity(t *testing.T) {
+	bare := Spec{Kind: KindSwarm, Swarm: &SwarmSpec{BaseSeed: 7}}
+	full := Spec{Kind: KindSwarm, Swarm: &SwarmSpec{BaseSeed: 7, Count: 8, Machines: "both", MaxStates: 4000}}
+	fp1, err := bare.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := full.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("defaulted and explicit specs split identity: %s vs %s", fp1, fp2)
+	}
+}
+
+// TestPresetExpansion: a preset job and the identical inline scenario
+// canonicalize to the same fingerprint (presets are spellings, not
+// identities).
+func TestPresetExpansion(t *testing.T) {
+	byName := Spec{Kind: KindMC, MC: &MCSpec{Preset: "sb-victim-race"}}
+	sc, err := mc.Preset("sb-victim-race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inline := Spec{Kind: KindMC, MC: &MCSpec{Scenario: &sc}}
+	fp1, err := byName.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := inline.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("preset and inline scenario split identity: %s vs %s", fp1, fp2)
+	}
+}
+
+// TestFloatAndSeedStability: shortest-round-trip floats and full-width
+// 64-bit seeds survive canonicalization digit-exactly (no float64 trip
+// for integers, no drift for fractions like 0.3 with no exact binary
+// form).
+func TestFloatAndSeedStability(t *testing.T) {
+	s := Spec{Kind: KindSim, Sim: &SimSpec{
+		N: 2, Seed: 18446744073709551615, PShared: 0.3, PWrite: 0.7, Requests: 10,
+	}}
+	c, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"seed":18446744073709551615`, `"p_shared":0.3`, `"p_write":0.7`} {
+		if !bytes.Contains(c, []byte(want)) {
+			t.Fatalf("canonical form lost %s:\n%s", want, c)
+		}
+	}
+}
+
+// TestCanonicalSortsKeys: the canonical encoder emits object keys
+// sorted regardless of input order.
+func TestCanonicalSortsKeys(t *testing.T) {
+	got, err := CanonicalJSON(map[string]any{"zeta": 1, "alpha": map[string]any{"y": true, "x": "s"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"alpha":{"x":"s","y":true},"zeta":1}`
+	if string(got) != want {
+		t.Fatalf("canonical JSON = %s, want %s", got, want)
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	cases := []Spec{
+		{Kind: "nope", Sim: &SimSpec{}},
+		{Kind: KindMC},
+		{Kind: KindMC, MC: &MCSpec{}},
+		{Kind: KindMC, MC: &MCSpec{Preset: "no-such-preset"}},
+		{Kind: KindMC, MC: &MCSpec{Preset: "read-race", Scenario: &mc.Scenario{}}},
+		{Kind: KindSim, Sim: &SimSpec{N: 99}},
+		{Kind: KindSim, Sim: &SimSpec{PShared: 1.5}},
+		{Kind: KindLitmus, Litmus: &LitmusSpec{Test: "zzz"}},
+		{Kind: KindSwarm, Swarm: &SwarmSpec{Machines: "abacus"}},
+		{Kind: KindSwarm, Swarm: &SwarmSpec{Count: maxSwarmCount + 1}},
+		{Kind: KindSim, Sim: &SimSpec{}, MC: &MCSpec{Preset: "read-race"}},
+		{Schema: 99, Kind: KindSwarm, Swarm: &SwarmSpec{}},
+	}
+	for i, s := range cases {
+		if _, err := s.Normalize(); err == nil {
+			t.Errorf("case %d (%+v): Normalize accepted an invalid spec", i, s)
+		}
+	}
+}
+
+// TestResultEncodeStable: result payloads canonicalize to a fixed point
+// too — the property the byte-identical cache guarantee rides on.
+func TestResultEncodeStable(t *testing.T) {
+	r := &Result{
+		Kind:        KindMC,
+		Fingerprint: "abc",
+		Verdict:     "violation",
+		MC: &MCResult{Result: mc.Result{
+			Scenario: "x", States: 42, Runs: 7, Exhausted: true,
+			Violation: &mc.Violation{Kind: "sc", Msg: "stale", Choices: []int{1, 0, 2}},
+		}},
+	}
+	b1, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("result encoding not a fixed point:\n first: %s\nsecond: %s", b1, b2)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

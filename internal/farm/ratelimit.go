@@ -1,0 +1,70 @@
+package farm
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket: rate tokens/sec with a
+// burst ceiling, keyed by client identity (the server uses the remote
+// host). Buckets are created on first sight and pruned once the table
+// grows past a bound, so an address-spraying client cannot balloon
+// memory.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// allow consumes one token for key at time now; false means the client
+// is over its rate.
+func (l *rateLimiter) allow(key string, now time.Time) bool {
+	if l.rate <= 0 {
+		return true // disabled
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= 65536 {
+			l.prune(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// prune drops buckets idle long enough to have refilled completely
+// (they carry no information a fresh bucket would not).
+func (l *rateLimiter) prune(now time.Time) {
+	idle := time.Duration(l.burst/l.rate*float64(time.Second)) + time.Second
+	for k, b := range l.buckets {
+		if now.Sub(b.last) > idle {
+			delete(l.buckets, k)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package farm
+
+import (
+	"context"
+	"fmt"
+
+	"multicube/internal/core"
+	"multicube/internal/farm/jobspec"
+	"multicube/internal/mc"
+	"multicube/internal/memmodel"
+	"multicube/internal/sim"
+	"multicube/internal/workload"
+)
+
+// Progress is a point-in-time view of a running job, streamed to
+// clients as NDJSON and folded into the server metrics. Fields are
+// populated per kind: mc/swarm report explorer counters, sim reports
+// reference/event counts, litmus and swarm report sub-cases done.
+type Progress struct {
+	// States and Frontier mirror mc.Progress for explorer-backed jobs.
+	States   int `json:"states,omitempty"`
+	Runs     int `json:"runs,omitempty"`
+	Frontier int `json:"frontier,omitempty"`
+	// References and Events count the timed machine's work.
+	References uint64 `json:"references,omitempty"`
+	Events     uint64 `json:"events,omitempty"`
+	// Done and Total count sub-cases of batch jobs (litmus sweeps,
+	// swarm seeds).
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+}
+
+// executor runs normalized specs. It is stateless; everything it needs
+// arrives per call, so the worker pool shares one.
+type executor struct {
+	// mcWorkers is the explorer parallelism per mc job. The farm's
+	// throughput lever is the worker pool, so this defaults to 1; raise
+	// it on big machines serving few, huge explorations.
+	mcWorkers int
+}
+
+// run executes spec (already normalized, fingerprinted fp) and returns
+// the cacheable result. The context cancels cooperatively: partial work
+// is marked with the "canceled" verdict and not cached by the caller.
+// progress may be nil.
+func (x *executor) run(ctx context.Context, spec *jobspec.Spec, fp string, progress func(Progress)) *jobspec.Result {
+	res := &jobspec.Result{Schema: jobspec.SchemaVersion, Kind: spec.Kind, Fingerprint: fp}
+	report := func(p Progress) {
+		if progress != nil {
+			progress(p)
+		}
+	}
+	switch spec.Kind {
+	case jobspec.KindMC:
+		x.runMC(ctx, spec.MC, res, report)
+	case jobspec.KindSim:
+		x.runSim(ctx, spec.Sim, res, report)
+	case jobspec.KindLitmus:
+		x.runLitmus(ctx, spec.Litmus, res, report)
+	case jobspec.KindSwarm:
+		x.runSwarm(ctx, spec.Swarm, res, report)
+	default:
+		res.Verdict = "error"
+		res.Error = fmt.Sprintf("farm: unknown job kind %q", spec.Kind)
+	}
+	return res
+}
+
+func (x *executor) runMC(ctx context.Context, spec *jobspec.MCSpec, res *jobspec.Result, report func(Progress)) {
+	opts := spec.ExploreOptions()
+	opts.Ctx = ctx
+	opts.Workers = x.mcWorkers
+	opts.Progress = func(p mc.Progress) {
+		report(Progress{States: p.States, Runs: p.Runs, Frontier: p.Frontier})
+	}
+	r, err := mc.Explore(*spec.Scenario, opts)
+	if err != nil {
+		res.Verdict = "error"
+		res.Error = err.Error()
+		return
+	}
+	res.MC = &jobspec.MCResult{Result: r}
+	switch {
+	case r.Violation != nil:
+		res.Verdict = "violation"
+	case r.Canceled:
+		res.Verdict = "canceled"
+	case r.SCVerdict == "undecided":
+		res.Verdict = "undecided"
+	default:
+		res.Verdict = "ok"
+	}
+}
+
+func (x *executor) runSim(ctx context.Context, spec *jobspec.SimSpec, res *jobspec.Result, report func(Progress)) {
+	m, err := core.New(core.Config{
+		N:          spec.N,
+		BlockWords: spec.BlockWords,
+		CacheLines: spec.CacheLines, CacheAssoc: spec.CacheAssoc,
+		MLTEntries: spec.MLTEntries, MLTAssoc: spec.MLTAssoc,
+		Snarf: spec.Snarf,
+	})
+	if err != nil {
+		res.Verdict = "error"
+		res.Error = err.Error()
+		return
+	}
+	rep := workload.RunCtx(ctx, m, workload.GenConfig{
+		Seed:        spec.Seed,
+		Think:       sim.Time(spec.ThinkNS),
+		Exponential: spec.Exponential == nil || *spec.Exponential,
+		SharedLines: spec.SharedLines, PrivateLines: spec.PrivateLines,
+		PShared: spec.PShared, PWrite: spec.PWrite,
+		Requests: spec.Requests,
+	}, func(refs, events uint64) {
+		report(Progress{References: refs, Events: events})
+	})
+	sr := &jobspec.SimResult{
+		References:      rep.References,
+		BusTransactions: rep.BusTransactions,
+		ElapsedSimNS:    int64(rep.Elapsed),
+		Efficiency:      rep.Efficiency(),
+		BusRatePerMS:    rep.BusRate(m.Processors()),
+	}
+	res.Sim = sr
+	if rep.Canceled {
+		res.Verdict = "canceled"
+		return
+	}
+	for _, e := range m.CheckInvariants() {
+		sr.Invariants = append(sr.Invariants, e.Error())
+	}
+	if len(sr.Invariants) > 0 {
+		res.Verdict = "violation"
+	} else {
+		res.Verdict = "ok"
+	}
+}
+
+func (x *executor) runLitmus(ctx context.Context, spec *jobspec.LitmusSpec, res *jobspec.Result, report func(Progress)) {
+	tests := memmodel.LitmusTests()
+	if spec.Test != "all" {
+		l, ok := memmodel.LitmusByName(spec.Test)
+		if !ok {
+			res.Verdict = "error"
+			res.Error = fmt.Sprintf("farm: unknown litmus test %q", spec.Test)
+			return
+		}
+		tests = []memmodel.Litmus{l}
+	}
+	lr := &jobspec.LitmusResult{}
+	res.Litmus = lr
+	total := 0
+	for _, l := range tests {
+		placements := 1
+		if l.Vars >= 2 {
+			placements = 2
+		}
+		total += placements * spec.Seeds
+	}
+	undecided := false
+	for _, l := range tests {
+		for _, same := range []bool{false, true} {
+			if same && l.Vars < 2 {
+				continue
+			}
+			placement := "split-col"
+			if same {
+				placement = "same-col"
+			}
+			for s := 0; s < spec.Seeds; s++ {
+				if ctx.Err() != nil {
+					res.Verdict = "canceled"
+					return
+				}
+				seed := spec.BaseSeed + uint64(s)
+				rep, err := workload.RunLitmus(workload.LitmusConfig{
+					Test: l.Name, N: spec.N, Rounds: spec.Rounds,
+					Seed: seed, MaxJitter: sim.Time(spec.MaxJitterNS),
+					SameColumn: same, SCNodes: spec.SCNodes,
+				})
+				if err != nil {
+					res.Verdict = "error"
+					res.Error = err.Error()
+					return
+				}
+				lr.Runs++
+				report(Progress{Done: lr.Runs, Total: total, Events: uint64(rep.History.Len())})
+				switch rep.Check.Verdict {
+				case memmodel.VerdictOK:
+				case memmodel.VerdictUndecided:
+					undecided = true
+					lr.Failures = append(lr.Failures, jobspec.LitmusFailure{
+						Test: l.Name, Placement: placement, Seed: seed,
+						Verdict: rep.Check.Verdict.String(), Reason: rep.Check.Reason,
+					})
+				default:
+					lr.Failures = append(lr.Failures, jobspec.LitmusFailure{
+						Test: l.Name, Placement: placement, Seed: seed,
+						Verdict: rep.Check.Verdict.String(), Reason: rep.Check.Reason,
+					})
+				}
+			}
+		}
+	}
+	switch {
+	case len(lr.Failures) > 0 && !onlyUndecided(lr.Failures):
+		res.Verdict = "violation"
+	case undecided:
+		res.Verdict = "undecided"
+	default:
+		res.Verdict = "ok"
+	}
+}
+
+func onlyUndecided(fs []jobspec.LitmusFailure) bool {
+	for _, f := range fs {
+		if f.Verdict != memmodel.VerdictUndecided.String() {
+			return false
+		}
+	}
+	return true
+}
+
+func (x *executor) runSwarm(ctx context.Context, spec *jobspec.SwarmSpec, res *jobspec.Result, report func(Progress)) {
+	sr := &jobspec.SwarmResult{}
+	res.Swarm = sr
+	var machines []bool // singleBus values to run
+	switch spec.Machines {
+	case "multicube":
+		machines = []bool{false}
+	case "singlebus":
+		machines = []bool{true}
+	default:
+		machines = []bool{false, true}
+	}
+	total := spec.Count * len(machines)
+	for i := 0; i < spec.Count; i++ {
+		seed := spec.BaseSeed + int64(i)
+		for _, singleBus := range machines {
+			if ctx.Err() != nil {
+				res.Verdict = "canceled"
+				return
+			}
+			sc := mc.SwarmScenario(seed, singleBus)
+			r, err := mc.Explore(sc, mc.Options{
+				MaxStates: spec.MaxStates,
+				Ctx:       ctx,
+				Workers:   x.mcWorkers,
+			})
+			if err != nil {
+				res.Verdict = "error"
+				res.Error = err.Error()
+				return
+			}
+			if r.Canceled {
+				res.Verdict = "canceled"
+				return
+			}
+			sr.Cases++
+			sr.StatesTotal += r.States
+			report(Progress{Done: sr.Cases, Total: total, States: sr.StatesTotal})
+			if r.Violation != nil {
+				sr.Violations = append(sr.Violations, jobspec.SwarmViolation{
+					Seed: seed, SingleBus: singleBus,
+					Kind: r.Violation.Kind, Msg: r.Violation.Msg,
+					Choices: r.Violation.Choices, States: r.States,
+				})
+			}
+		}
+	}
+	if len(sr.Violations) > 0 {
+		res.Verdict = "violation"
+	} else {
+		res.Verdict = "ok"
+	}
+}

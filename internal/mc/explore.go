@@ -6,6 +6,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -83,6 +84,20 @@ type Options struct {
 	// value, panicking on any divergence (the -checkfp flag). Slow;
 	// intended for tests and debugging the fingerprint fast path.
 	CheckFP bool
+	// Ctx, when non-nil, cancels the exploration cooperatively: it is
+	// consulted at frontier boundaries (between from-scratch executions),
+	// so a cancel returns within one bounded run — MaxStepsPerRun kernel
+	// steps — rather than leaking a worker for the rest of the search.
+	// A canceled exploration returns its partial statistics with
+	// Result.Canceled set and never claims Exhausted.
+	Ctx context.Context
+	// Progress, when non-nil, is called at frontier boundaries with a
+	// snapshot of the running search (states visited, runs completed,
+	// current depth bound, frontier size). Calls are serialized. Under
+	// parallel workers the run/frontier counts depend on scheduling even
+	// though the verdict does not, so snapshots are for reporting, not
+	// for cross-run comparison.
+	Progress func(Progress)
 
 	// legacyAmple swaps the persistent-set rule for PR 1's conservative
 	// ample rule and disables sleep sets, so tests can compare the two
@@ -109,6 +124,22 @@ func (o *Options) fillDefaults() {
 	}
 }
 
+// Progress is a frontier-boundary snapshot of a running exploration,
+// delivered through Options.Progress.
+type Progress struct {
+	// States is the number of distinct canonical states visited so far
+	// in the current deepening iteration.
+	States int
+	// Runs is the number of from-scratch executions completed so far in
+	// the current pass.
+	Runs int
+	// Depth is the current choice-depth bound (0 = unlimited).
+	Depth int
+	// Frontier is the number of pending work items (unexplored branch
+	// prefixes) queued at the snapshot.
+	Frontier int
+}
+
 // Result summarizes an exploration.
 type Result struct {
 	Scenario string
@@ -127,6 +158,10 @@ type Result struct {
 	Exhausted bool
 	// BudgetHit reports the MaxStates budget stopped exploration.
 	BudgetHit bool
+	// Canceled reports that Options.Ctx was canceled before the bounded
+	// space was covered: the Result describes a partial exploration
+	// (never Exhausted) whose statistics stop at the cancellation point.
+	Canceled bool
 	// FPRecomputes and FPIncremental count component-hash rebuilds vs
 	// cache hits in the incremental fingerprint path, summed over every
 	// execution of the search whose result this is (minimization replays
@@ -609,15 +644,36 @@ type passOut struct {
 	violation *Violation
 	limitAny  bool
 	stepsAny  bool
+	canceled  bool
+}
+
+// ctxDone reports cooperative cancellation; checked only at frontier
+// boundaries so a cancel never interrupts a from-scratch execution
+// midway (runs stay pure functions of their work items).
+func (e *explorer) ctxDone() bool {
+	return e.opts.Ctx != nil && e.opts.Ctx.Err() != nil
+}
+
+// report delivers a frontier-boundary progress snapshot. Callers hold
+// whatever lock serializes the pass's bookkeeping, so callbacks never
+// race.
+func (e *explorer) report(runs, depth, frontier int) {
+	if e.opts.Progress != nil {
+		e.opts.Progress(Progress{States: e.visited.states(), Runs: runs, Depth: depth, Frontier: frontier})
+	}
 }
 
 // pass runs one depth-bounded sequential DFS over choice sequences. Its
 // outcome — including which violation is found first — is a pure
-// function of the scenario and options.
+// function of the scenario and options (absent a Ctx cancellation).
 func (e *explorer) pass(depth int) passOut {
 	var out passOut
 	stack := []workItem{{}}
 	for len(stack) > 0 && !e.budget.Load() {
+		if e.ctxDone() {
+			out.canceled = true
+			return out
+		}
 		it := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		r := e.run(it, depth, true)
@@ -629,6 +685,7 @@ func (e *explorer) pass(depth int) passOut {
 			return out
 		}
 		stack = append(stack, e.children(it, r)...)
+		e.report(out.runs, depth, len(stack))
 	}
 	return out
 }
@@ -659,6 +716,13 @@ func (e *explorer) passParallel(depth, workers int) passOut {
 				mu.Unlock()
 				return
 			}
+			if e.ctxDone() {
+				out.canceled = true
+				stop = true
+				cond.Broadcast()
+				mu.Unlock()
+				return
+			}
 			it := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
 			mu.Unlock()
@@ -682,6 +746,7 @@ func (e *explorer) passParallel(depth, workers int) passOut {
 			if !stop {
 				queue = append(queue, kids...)
 				outstanding += len(kids)
+				e.report(out.runs, depth, len(queue))
 			}
 			outstanding--
 			cond.Broadcast()
@@ -714,7 +779,7 @@ func shortlexLess(a, b []int) bool {
 
 // Explore model-checks the scenario within the given bounds.
 func Explore(sc Scenario, opts Options) (Result, error) {
-	sc.fillDefaults()
+	sc.FillDefaults()
 	if err := sc.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -783,6 +848,10 @@ func exploreBounded(sc *Scenario, opts Options) Result {
 			res.Violation = v
 			return res
 		}
+		if p.canceled {
+			res.Canceled = true
+			return res
+		}
 		if res.BudgetHit {
 			return res
 		}
@@ -822,7 +891,7 @@ func (e *explorer) replayRun(prefix []int) runOut {
 func (e *explorer) minimize(v *Violation) *Violation {
 	cur := v
 	attempts := 0
-	for improved := true; improved && attempts < 400; {
+	for improved := true; improved && attempts < 400 && !e.ctxDone(); {
 		improved = false
 		for i := len(cur.Choices) - 1; i >= 0 && !improved; i-- {
 			if cur.Choices[i] == 0 {

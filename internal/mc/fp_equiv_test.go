@@ -48,7 +48,7 @@ func TestFPCrossCheckSwarm(t *testing.T) {
 	for i := 0; i < cases; i++ {
 		seed := int64(17000 + i)
 		for _, singleBus := range []bool{false, true} {
-			sc := swarmScenario(seed, singleBus)
+			sc := SwarmScenario(seed, singleBus)
 			sc.Name = fmt.Sprintf("%s-checkfp", sc.Name)
 			opts := fpEquivOpts()
 			opts.CheckFP = true
@@ -101,7 +101,7 @@ func TestFPIncrementalMatchesLegacyPartition(t *testing.T) {
 	}
 	for i := 0; i < seeds; i++ {
 		for _, singleBus := range []bool{false, true} {
-			sc := swarmScenario(int64(18000+i), singleBus)
+			sc := SwarmScenario(int64(18000+i), singleBus)
 			cases = append(cases, tc{sc.Name + fmt.Sprintf("-sb%v", singleBus), sc})
 		}
 	}
@@ -157,7 +157,7 @@ func FuzzFPEquivalence(f *testing.F) {
 		f.Add(seed, true)
 	}
 	f.Fuzz(func(t *testing.T, seed int64, singleBus bool) {
-		sc := swarmScenario(seed, singleBus)
+		sc := SwarmScenario(seed, singleBus)
 		opts := Options{MaxStates: 1500, NoMinimize: true, CheckFP: true}
 		if _, err := Explore(sc, opts); err != nil {
 			t.Fatalf("seed %d singleBus %v: %v", seed, singleBus, err)

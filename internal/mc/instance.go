@@ -58,7 +58,7 @@ type instance struct {
 }
 
 func newInstance(sc *Scenario, sh *shared) *instance {
-	sc.fillDefaults()
+	sc.FillDefaults()
 	k := sim.NewKernel()
 	sys := coherence.MustNewSystem(k, coherence.Config{
 		N:          sc.N,

@@ -254,7 +254,7 @@ func TestPresetsValidate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sc.fillDefaults()
+		sc.FillDefaults()
 		if err := sc.Validate(); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

@@ -26,7 +26,7 @@ type ReplayResult struct {
 // default to 0, exactly as during exploration, so a minimal
 // counterexample replays to the same failure.
 func Replay(sc Scenario, choices []int, opts Options) (*ReplayResult, error) {
-	sc.fillDefaults()
+	sc.FillDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}

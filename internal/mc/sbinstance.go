@@ -40,7 +40,7 @@ type sbInstance struct {
 }
 
 func newSBInstance(sc *Scenario, sh *shared) *sbInstance {
-	sc.fillDefaults()
+	sc.FillDefaults()
 	m := singlebus.MustNew(singlebus.Config{
 		Processors: len(sc.Procs),
 		BlockWords: sc.BlockWords,

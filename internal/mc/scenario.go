@@ -113,7 +113,12 @@ type Scenario struct {
 	Procs   []Proc
 }
 
-func (s *Scenario) fillDefaults() {
+// FillDefaults resolves zero-valued configuration to the explorer's
+// defaults (a 2×2 grid, two-word blocks). Explore applies it
+// automatically; external canonicalizers (the farm's job fingerprints)
+// call it so a spec with defaults spelled out and one with them omitted
+// canonicalize identically.
+func (s *Scenario) FillDefaults() {
 	if s.N == 0 {
 		s.N = 2
 	}

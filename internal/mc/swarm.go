@@ -1,0 +1,52 @@
+package mc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multicube/internal/topology"
+)
+
+// SwarmScenario derives one bounded random scenario from a seed: two
+// processors at distinct coordinates of a 2×2 grid (or on the single-bus
+// baseline), one to three operations each over four lines. Operation
+// kinds stay in the data subset — reads, writes, allocates, explicit
+// writebacks — so programs always terminate and the witness applies;
+// lock scenarios need paired acquire/release structure and are covered
+// by the curated presets instead. The whole scenario is a pure function
+// of the seed, so any failure replays from the seed alone — which is
+// what lets the farm's corpus persist violating seeds and replay them
+// as regression jobs forever.
+func SwarmScenario(seed int64, singleBus bool) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []OpKind{OpRead, OpWrite, OpWrite, OpAllocate, OpWriteBack}
+	if singleBus {
+		kinds = []OpKind{OpRead, OpWrite}
+	}
+	coords := []topology.Coord{{Row: 0, Col: 0}, {Row: 0, Col: 1}, {Row: 1, Col: 0}, {Row: 1, Col: 1}}
+	rng.Shuffle(len(coords), func(i, j int) { coords[i], coords[j] = coords[j], coords[i] })
+
+	sc := Scenario{
+		Name:      fmt.Sprintf("swarm-%d", seed),
+		N:         2,
+		SingleBus: singleBus,
+	}
+	if rng.Intn(2) == 0 {
+		// Half the swarm runs with tight structures: a single-entry
+		// modified line table (multicube) or a two-line direct-mapped
+		// cache, so victim and overflow paths stay hot.
+		if singleBus {
+			sc.CacheLines, sc.CacheAssoc = 2, 1
+		} else {
+			sc.MLTEntries, sc.MLTAssoc = 1, 1
+		}
+	}
+	for p := 0; p < 2; p++ {
+		ops := make([]ProcOp, 1+rng.Intn(3))
+		for i := range ops {
+			ops[i] = ProcOp{Kind: kinds[rng.Intn(len(kinds))], Line: uint64(rng.Intn(4))}
+		}
+		sc.Procs = append(sc.Procs, Proc{At: coords[p], Ops: ops})
+	}
+	return sc
+}
