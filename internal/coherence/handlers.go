@@ -38,15 +38,16 @@ func (n *Node) probeCol(op *Op) {
 	switch e.State {
 	case Modified:
 		op.holderPresent = true
-		switch op.Txn {
-		case READ, READMOD:
+		// A queue head with an admitted successor stays silent for every
+		// transaction: serving a TAS/SYNC belongs to the tail, and
+		// surrendering the modified copy to a READ or READMOD would
+		// strand the queue — the handoff XFER needs the head's data and
+		// link authority. Requests bounce and retry until the queue
+		// drains. The pin disambiguates: the link word is protocol-owned
+		// only while sync state is live (the admission pinned this copy);
+		// on an ordinary data line word 1 is just data.
+		if !e.Pinned || e.Data[LinkWord] == 0 {
 			op.willServe = true
-		case TAS, SYNC:
-			// A head with a queued successor stays silent; the tail
-			// answers for its own column.
-			if e.Data[LinkWord] == 0 {
-				op.willServe = true
-			}
 		}
 	case Reserved:
 		// An admitted queue tail answers (serving SYNC/TAS, or bouncing
@@ -188,22 +189,24 @@ func (n *Node) colRequestRemove(op *Op) {
 	}
 	switch e.State {
 	case Modified:
+		// While the copy is pinned the link word is protocol-owned: a
+		// nonzero link means a SYNC queue is active and this copy is its
+		// head. The head serves nothing — the tail answers TAS/SYNC for
+		// its own column, and giving the line away to a READ/READMOD
+		// would strand the queued waiter (probeCol already kept willServe
+		// down; this mirrors it at dispatch).
+		if e.Pinned && e.Data[LinkWord] != 0 {
+			return
+		}
 		switch op.Txn {
 		case READ:
 			n.serveReadFromModified(op, e)
 		case READMOD:
 			n.serveReadModFromModified(op, e)
 		case TAS:
-			// For lock lines the link word is protocol-owned: a nonzero
-			// link means a SYNC queue is active and its tail — possibly
-			// in this very column — is the responder, not the head.
-			if e.Data[LinkWord] == 0 {
-				n.serveTASFromModified(op, e)
-			}
+			n.serveTASFromModified(op, e)
 		case SYNC:
-			if e.Data[LinkWord] == 0 {
-				n.serveSyncAtHolder(op, e)
-			}
+			n.serveSyncAtHolder(op, e)
 		}
 	case Reserved:
 		if !n.isQueuedTailFor(op.Line) || e.Data[LinkWord] != 0 {
@@ -218,9 +221,11 @@ func (n *Node) colRequestRemove(op *Op) {
 			n.replyFail(op)
 			n.restoreTableEntry(op)
 		default:
-			if !op.holderPresent {
-				n.bounceOffReserved(op)
-			}
+			// The data is not here (reserved placeholder only), and a
+			// same-column holder, if any, is the queue head and keeps
+			// the line: restore the entry and retransmit; the request
+			// retries until the queue drains.
+			n.bounceOffReserved(op)
 		}
 	}
 }
@@ -233,6 +238,10 @@ func (n *Node) colRequestRemove(op *Op) {
 func (n *Node) serveReadFromModified(op *Op, e *cache.Entry) {
 	data := append([]uint64(nil), e.Data...)
 	e.State = Shared
+	// A sync-active pin guards the modified copy's queue authority; the
+	// shared copy left behind has none, and must be victimizable again
+	// (SyncRelease already handles the degenerated ownership).
+	e.Pinned = false
 	lat := n.sys.cfg.Timing.CacheLatency
 	switch {
 	case n.onHomeColumn(op.Line):
@@ -316,6 +325,19 @@ func (n *Node) colWritebackRemove(op *Op) {
 				n.issueRow(n.sys.dataOp(WRITEBACK, UPDATE, n.id, op.Line, data, op.trace))
 			}
 		}
+	} else if e, ok := n.l2.Lookup(op.Line); ok && e.State == Modified {
+		// The entry was claimed by a request in flight, yet the line is
+		// still here: the claimant was refused (a lock try that found the
+		// lock set, a probe bounced off the queue) and the INSERT restoring
+		// the entry is already on the bus behind us. Completing now would
+		// demote this copy under a table entry that still names our column
+		// — losing the only valid copy. Retry the remove until the race
+		// resolves: either the restore lands first (the remove succeeds) or
+		// a later claimant takes the line (nothing left to write).
+		n.stats.Reissues++
+		n.issueColAfter(n.sys.cfg.Timing.ForwardLatency,
+			n.sys.addrOp(WRITEBACK, REMOVE, n.id, op.Line, op.trace))
+		return
 	}
 	cont := n.wbCont
 	n.wbCont = nil
@@ -593,18 +615,10 @@ func (n *Node) installOwned(op *Op) {
 //
 //multicube:fpexempt dispatched under snoopRow/snoopCol, which bump
 func (n *Node) snarf(op *Op) {
-	if !n.sys.cfg.Snarf || op.Txn != READ || op.Data == nil {
+	if !n.snarfEligible(op) {
 		return
 	}
 	e := n.l2.Probe(op.Line)
-	if e == nil || e.State != Invalid || e.Pinned {
-		return
-	}
-	if t, ok := n.purgedAt[op.Line]; ok && op.born <= t {
-		// The payload predates our invalidation of this line: it may be
-		// stale ("only if the line is in global state unmodified").
-		return
-	}
 	copy(e.Data, op.Data)
 	e.State = Shared
 	n.l2.MarkSnarf()

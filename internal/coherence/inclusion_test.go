@@ -1,0 +1,49 @@
+package coherence
+
+import (
+	"strings"
+	"testing"
+
+	"multicube/internal/cache"
+)
+
+// TestInclusionInvariant exercises invariant 6: a registered upper-level
+// cache view must stay a subset of its node's snooping cache.
+func TestInclusionInvariant(t *testing.T) {
+	k, s := testSystem(t, 2)
+
+	var l1 []cache.Line
+	s.RegisterInclusion("test L1", at(0, 0), func() []cache.Line { return l1 })
+
+	if errs := CheckInvariants(s); len(errs) != 0 {
+		t.Fatalf("empty view: unexpected violations %v", errs)
+	}
+
+	// A line the snooping cache has never seen: inclusion is violated.
+	l1 = []cache.Line{7}
+	errs := CheckInvariants(s)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "inclusion violated") {
+		t.Fatalf("missing line 7: got %v, want one inclusion violation", errs)
+	}
+
+	// Once the snooping cache holds the line, the same view is legal.
+	do(t, k, func(done func(Result)) { s.Node(at(0, 0)).Read(7, done) })
+	checkQuiet(t, s)
+}
+
+// TestInclusionViewOrdering pins the deterministic error ordering:
+// registration order, then the view's own line order.
+func TestInclusionViewOrdering(t *testing.T) {
+	_, s := testSystem(t, 2)
+	s.RegisterInclusion("view A", at(0, 0), func() []cache.Line { return []cache.Line{3, 5} })
+	s.RegisterInclusion("view B", at(1, 1), func() []cache.Line { return []cache.Line{2} })
+	errs := CheckInvariants(s)
+	if len(errs) != 3 {
+		t.Fatalf("got %d violations, want 3: %v", len(errs), errs)
+	}
+	for i, want := range []string{"view A: L1 line 3", "view A: L1 line 5", "view B: L1 line 2"} {
+		if !strings.Contains(errs[i].Error(), want) {
+			t.Errorf("errs[%d] = %v, want prefix %q", i, errs[i], want)
+		}
+	}
+}

@@ -28,6 +28,10 @@ import (
 //     contents are exactly the lines held modified in that column.
 //  5. No reserved copies or pinned entries remain (a reserved copy at
 //     quiescence means a SYNC handoff was lost).
+//  6. Every upper-level cache view registered with RegisterInclusion is a
+//     subset of its node's snooping cache (the multilevel inclusion
+//     discipline: the write-through processor cache always holds a subset
+//     of the snooping cache, so the latter can snoop on its behalf).
 func CheckInvariants(s *System) []error {
 	var errs []error
 	n := s.cfg.N
@@ -173,5 +177,34 @@ func CheckInvariants(s *System) []error {
 			}
 		}
 	}
+
+	// 6: multilevel inclusion. Views are walked in registration order and
+	// report their lines sorted, keeping the error list deterministic.
+	for _, iv := range s.inclusions {
+		nd := s.Node(iv.node)
+		for _, line := range iv.lines() {
+			if _, ok := nd.l2.Lookup(line); !ok {
+				errs = append(errs, fmt.Errorf("%s: L1 line %d not in snooping cache at %v (inclusion violated)",
+					iv.label, line, iv.node))
+			}
+		}
+	}
 	return errs
+}
+
+// inclusionView is one upper-level cache registered for the inclusion
+// check.
+type inclusionView struct {
+	label string
+	node  topology.Coord
+	lines func() []cache.Line
+}
+
+// RegisterInclusion records an upper-level (write-through processor)
+// cache in front of the snooping cache at node: CheckInvariants
+// thereafter enforces that every line lines() reports is present
+// non-invalid in that snooping cache. lines must report in a
+// deterministic (sorted) order.
+func (s *System) RegisterInclusion(label string, node topology.Coord, lines func() []cache.Line) {
+	s.inclusions = append(s.inclusions, inclusionView{label: label, node: node, lines: lines})
 }

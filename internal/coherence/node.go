@@ -147,6 +147,7 @@ func (n *Node) onHomeColumn(line cache.Line) bool {
 // --- bus issue helpers -------------------------------------------------
 
 func (n *Node) issueRow(op *Op) {
+	n.sys.recordIntent(Row, op)
 	if n.sys.Fault != nil && n.sys.Fault(Row, n.id, op) {
 		n.sys.dropped++
 		return
@@ -161,6 +162,7 @@ func (n *Node) issueRow(op *Op) {
 }
 
 func (n *Node) issueCol(op *Op) {
+	n.sys.recordIntent(Col, op)
 	if n.sys.Fault != nil && n.sys.Fault(Col, n.id, op) {
 		n.sys.dropped++
 		return
@@ -182,6 +184,7 @@ func (n *Node) issueRowAfter(d sim.Time, op *Op) {
 		n.issueRow(op)
 		return
 	}
+	n.sys.recordIntent(Row, op)
 	tag := EnqueueTag{Issuer: n.id, Dim: Row, Op: op, bus: n.sys.rows[n.id.Row]}
 	n.sys.k.AfterTagged(d, tag, func() { n.issueRow(op) })
 }
@@ -191,6 +194,7 @@ func (n *Node) issueColAfter(d sim.Time, op *Op) {
 		n.issueCol(op)
 		return
 	}
+	n.sys.recordIntent(Col, op)
 	tag := EnqueueTag{Issuer: n.id, Dim: Col, Op: op, bus: n.sys.cols[n.id.Col]}
 	n.sys.k.AfterTagged(d, tag, func() { n.issueCol(op) })
 }

@@ -194,6 +194,24 @@ type System struct {
 	// exists to prevent. Never set it outside tests and checker demos.
 	DisableStaleReplyPoisoning bool
 
+	// Observer, when set, receives one SnoopEvent per delivered bus
+	// operation at a controller: the pre/post line views, the probe wire
+	// signals, and the bus operations the handler scheduled in response.
+	// Like OpLog it is a passive test hook — installing it never changes
+	// protocol behavior or fingerprints. internal/protocol's conformance
+	// harness is its consumer.
+	Observer func(SnoopEvent)
+
+	// obsSink, while a snoop dispatch is being observed, collects the
+	// action intents the handler issues; nil outside a snoop window.
+	//
+	//multicube:fpexempt observation plumbing, invisible to fingerprints
+	obsSink *[]ActionIntent
+
+	// inclusions holds the registered upper-level cache views whose
+	// containment in a node's snooping cache CheckInvariants enforces.
+	inclusions []inclusionView
+
 	dropped uint64
 
 	// fpIdent/fpInv are reusable Fingerprint scratch: the cached identity
@@ -427,12 +445,26 @@ func (s *System) recordCompletion(tr *TxnTrace) {
 type rowAgent struct{ n *Node }
 
 func (a rowAgent) Probe(b *bus.Bus, pkt bus.Packet) { a.n.probeRow(pkt.(*Op)) }
-func (a rowAgent) Snoop(b *bus.Bus, pkt bus.Packet) { a.n.snoopRow(pkt.(*Op)) }
+func (a rowAgent) Snoop(b *bus.Bus, pkt bus.Packet) {
+	op := pkt.(*Op)
+	if a.n.sys.Observer != nil {
+		a.n.observeSnoop(Row, op, func() { a.n.snoopRow(op) })
+		return
+	}
+	a.n.snoopRow(op)
+}
 
 type colAgent struct{ n *Node }
 
 func (a colAgent) Probe(b *bus.Bus, pkt bus.Packet) { a.n.probeCol(pkt.(*Op)) }
-func (a colAgent) Snoop(b *bus.Bus, pkt bus.Packet) { a.n.snoopCol(pkt.(*Op)) }
+func (a colAgent) Snoop(b *bus.Bus, pkt bus.Packet) {
+	op := pkt.(*Op)
+	if a.n.sys.Observer != nil {
+		a.n.observeSnoop(Col, op, func() { a.n.snoopCol(op) })
+		return
+	}
+	a.n.snoopCol(op)
+}
 
 type memAgent struct{ m *Memory }
 

@@ -38,7 +38,10 @@ import (
 // whenever the canonical encoding or job semantics change incompatibly;
 // old cache entries then simply stop matching instead of serving results
 // computed under different rules.
-const SchemaVersion = 1
+//
+// 2: mc.Scenario gained the Protocol field (single-bus snooper
+// selection), changing the canonical mc-job encoding.
+const SchemaVersion = 2
 
 // Job kinds.
 const (

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"multicube/internal/farm/jobspec"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -119,7 +121,9 @@ func TestSpellingVariantsShareCache(t *testing.T) {
 	waitDone(t, ts, st.JobID)
 
 	// Different key order, schema stated explicitly: same fingerprint.
-	code, st2 := postJob(t, ts, `{"swarm":{"max_states":1500,"machines":"multicube","count":1,"base_seed":3},"schema":1,"kind":"swarm"}`)
+	code, st2 := postJob(t, ts, fmt.Sprintf(
+		`{"swarm":{"max_states":1500,"machines":"multicube","count":1,"base_seed":3},"schema":%d,"kind":"swarm"}`,
+		jobspec.SchemaVersion))
 	if code != http.StatusOK || !st2.Cached {
 		t.Fatalf("variant spelling = %d cached=%v, want 200 cached", code, st2.Cached)
 	}

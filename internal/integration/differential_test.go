@@ -172,6 +172,34 @@ func TestDifferentialSingleBusVsMulticube(t *testing.T) {
 			dfCheckObs(t, "singlebus", sbObs)
 			sbImg := dfImage(func(a uint64) uint64 { return sb.ReadCoherent(singlebus.Addr(a)) })
 
+			// The same bus and workload under the MESI snooper.
+			mesi := singlebus.MustNew(singlebus.Config{
+				Processors: dfProcs, BlockWords: dfBlockWords,
+				CacheLines: 4, CacheAssoc: 1,
+				Protocol: singlebus.ProtocolMESI,
+			})
+			var mesiObs []dfObs
+			for p := 0; p < dfProcs; p++ {
+				p := p
+				mesi.Spawn(p, func(c *singlebus.Ctx) {
+					dfWorker(p, progs[p], &mesiObs,
+						func(a uint64) uint64 { return c.Load(singlebus.Addr(a)) },
+						func(a, v uint64) { c.Store(singlebus.Addr(a), v) },
+						c.Sleep)
+				})
+			}
+			mesi.Run()
+			for _, err := range singlebus.CheckInvariants(mesi) {
+				t.Errorf("mesi invariant: %v", err)
+			}
+			dfCheckObs(t, "mesi", mesiObs)
+			mesiImg := dfImage(func(a uint64) uint64 { return mesi.ReadCoherent(singlebus.Addr(a)) })
+			for addr, want := range sbImg {
+				if got := mesiImg[addr]; got != want {
+					t.Errorf("address %d: write-once %d, mesi %d", addr, want, got)
+				}
+			}
+
 			// The smallest Multicube (2×2 grid, same processor count),
 			// tight caches and modified line tables.
 			mc := core.MustNew(core.Config{

@@ -98,6 +98,15 @@ type Options struct {
 	// though the verdict does not, so snapshots are for reporting, not
 	// for cross-run comparison.
 	Progress func(Progress)
+	// Instrument, when non-nil, is called on every freshly built grid
+	// machine (once per from-scratch execution) before the programs
+	// start, so harnesses can install passive observation hooks — e.g.
+	// the conformance observer of internal/protocol sets
+	// coherence.System.Observer. Hooks must be passive: installing one
+	// must not change protocol behavior, fingerprints, or verdicts.
+	// Single-bus scenarios are not instrumented (the seam is the grid
+	// coherence machine).
+	Instrument func(*coherence.System)
 
 	// legacyAmple swaps the persistent-set rule for PR 1's conservative
 	// ample rule and disables sleep sets, so tests can compare the two

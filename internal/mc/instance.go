@@ -70,6 +70,9 @@ func newInstance(sc *Scenario, sh *shared) *instance {
 		Snarf:      sc.Snarf,
 	})
 	sys.DisableStaleReplyPoisoning = sc.InjectStaleReply
+	if sh.instrument != nil {
+		sh.instrument(sys)
+	}
 	in := &instance{
 		sc:       sc,
 		sh:       sh,

@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"multicube/internal/memmodel"
+	"multicube/internal/singlebus"
 	"multicube/internal/topology"
 )
 
@@ -23,8 +24,21 @@ import (
 //
 // Single-variable tests (corr, coww) have nothing to place apart and get
 // one preset each.
+//
+// Every test additionally compiles to the single-bus baseline, where the
+// atomic bus makes placement moot: litmus-<name>-sb runs Goodman's
+// write-once snooper and litmus-<name>-sb-mesi the MESI snooper. The
+// same explorer, SC witness, and oracles apply, so the three machines'
+// verdicts on the same program are directly comparable.
 
 const litmusSameColSuffix = "-1col"
+
+// Single-bus litmus suffixes; checked after -1col so the two families
+// cannot combine.
+const (
+	litmusSBSuffix     = "-sb"
+	litmusSBMESISuffix = "-sb-mesi"
+)
 
 // litmusCoords spreads litmus threads over the 2×2 grid so no two share
 // a row or column bus where avoidable: the classic two-thread tests run
@@ -42,6 +56,9 @@ func litmusPresetNames() []string {
 		if l.Vars >= 2 {
 			out = append(out, "litmus-"+l.Name+litmusSameColSuffix)
 		}
+		out = append(out,
+			"litmus-"+l.Name+litmusSBSuffix,
+			"litmus-"+l.Name+litmusSBMESISuffix)
 	}
 	return out
 }
@@ -53,7 +70,15 @@ func litmusPreset(name string) (Scenario, bool) {
 	if !ok {
 		return Scenario{}, false
 	}
-	base, sameCol := strings.CutSuffix(base, litmusSameColSuffix)
+	base, mesi := strings.CutSuffix(base, litmusSBMESISuffix)
+	singleBus := mesi
+	if !singleBus {
+		base, singleBus = strings.CutSuffix(base, litmusSBSuffix)
+	}
+	var sameCol bool
+	if !singleBus {
+		base, sameCol = strings.CutSuffix(base, litmusSameColSuffix)
+	}
 	l, ok := memmodel.LitmusByName(base)
 	if !ok || len(l.Procs) > len(litmusCoords) || (sameCol && l.Vars < 2) {
 		return Scenario{}, false
@@ -65,6 +90,12 @@ func litmusPreset(name string) (Scenario, bool) {
 		return uint64(v)
 	}
 	sc := Scenario{Name: name, N: 2, CheckSC: true}
+	if singleBus {
+		sc.SingleBus = true
+		if mesi {
+			sc.Protocol = singlebus.ProtocolMESI
+		}
+	}
 	for p, prog := range l.Procs {
 		pr := Proc{At: litmusCoords[p]}
 		for _, op := range prog {

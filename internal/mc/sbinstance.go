@@ -46,6 +46,7 @@ func newSBInstance(sc *Scenario, sh *shared) *sbInstance {
 		BlockWords: sc.BlockWords,
 		CacheLines: sc.CacheLines,
 		CacheAssoc: sc.CacheAssoc,
+		Protocol:   sc.Protocol,
 	})
 	in := &sbInstance{
 		sc:       sc,

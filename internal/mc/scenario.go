@@ -27,6 +27,7 @@ package mc
 import (
 	"fmt"
 
+	"multicube/internal/singlebus"
 	"multicube/internal/topology"
 )
 
@@ -101,6 +102,10 @@ type Scenario struct {
 	// ignored), only OpRead and OpWrite are meaningful, and the same
 	// explorer, oracles, and sequential-consistency witness apply.
 	SingleBus bool
+	// Protocol selects the single-bus snooper: "" (write-once, the
+	// default) or "mesi". Meaningful only with SingleBus; the Multicube
+	// grid has exactly one protocol.
+	Protocol string
 	// CheckSC additionally checks every completed execution's history for
 	// full cross-address sequential consistency (internal/memmodel's
 	// witness-order search), not just per-address coherence. Opt-in
@@ -141,6 +146,12 @@ func (s *Scenario) Validate() error {
 	if len(s.Procs) == 0 {
 		return fmt.Errorf("mc: scenario %q has no processors", s.Name)
 	}
+	if s.Protocol != "" && !s.SingleBus {
+		return fmt.Errorf("mc: scenario %q: Protocol %q requires SingleBus", s.Name, s.Protocol)
+	}
+	if s.Protocol != singlebus.ProtocolWriteOnce && s.Protocol != singlebus.ProtocolMESI {
+		return fmt.Errorf("mc: scenario %q: unknown protocol %q", s.Name, s.Protocol)
+	}
 	if s.SingleBus {
 		for p, pr := range s.Procs {
 			if len(pr.Ops) == 0 {
@@ -174,8 +185,13 @@ func (s *Scenario) Validate() error {
 func Presets() []string {
 	names := []string{
 		"readmod-race", "read-race", "sync-race", "mlt-overflow-lock",
-		"readmod-race-3x3", "mlt-churn-3x3", "sb-writeonce-race",
-		"sb-victim-race", "stale-shared-mp",
+		"tas-contention", "wb-locked", "sync-fail", "read-snarf", "readmod-row-pair",
+		"sync-col-queue", "readmod-col-pair", "snarf-row-3x3",
+		"read-col-pair", "tas-purge-remote", "sync-purge-remote",
+		"snarf-serve-row", "wb-steal", "sync-tail-row", "sync-tail-remote", "sync-col-3x3",
+		"sync-read-mix", "readmod-race-3x3", "mlt-churn-3x3",
+		"sb-writeonce-race", "sb-victim-race",
+		"sb-mesi-race", "sb-mesi-victim-race", "stale-shared-mp",
 	}
 	return append(names, litmusPresetNames()...)
 }
@@ -296,6 +312,290 @@ func Preset(name string) (Scenario, error) {
 			Procs: []Proc{
 				{Ops: []ProcOp{{OpWrite, 1}, {OpWrite, 3}}},
 				{Ops: []ProcOp{{OpRead, 1}}},
+			},
+		}, nil
+	case "sb-mesi-race":
+		// The write-once race program under the MESI snooper. The first
+		// reader to miss installs Exclusive (nobody else holds the line),
+		// the second is forced down to Shared by the sharers wire, and
+		// the winning write-through leaves Modified instead of Reserved —
+		// the loser's void write-through still retries as a write miss.
+		return Scenario{
+			Name: name, SingleBus: true, Protocol: singlebus.ProtocolMESI,
+			Procs: []Proc{
+				{Ops: []ProcOp{{OpRead, 0}, {OpWrite, 0}, {OpRead, 0}}},
+				{Ops: []ProcOp{{OpRead, 0}, {OpWrite, 0}}},
+			},
+		}, nil
+	case "sb-mesi-victim-race":
+		// sb-victim-race under MESI: the victimized line is Modified via
+		// the silent Exclusive upgrade (no write-through ever hit the
+		// bus), so the write-back buffer snoop is exercised on a line
+		// whose only bus history is the original read miss.
+		return Scenario{
+			Name: name, SingleBus: true, Protocol: singlebus.ProtocolMESI,
+			CacheLines: 2, CacheAssoc: 1,
+			Procs: []Proc{
+				{Ops: []ProcOp{{OpWrite, 1}, {OpWrite, 3}}},
+				{Ops: []ProcOp{{OpRead, 1}}},
+			},
+		}, nil
+	case "tas-contention":
+		// Three processors fight over one lock line with bare test-and-set
+		// tries, one of them reading the line first so a shared copy is in
+		// play when the first grant's purge broadcast arrives. Covers the
+		// TAS decision tree at the modified holder — grant vs. fail over
+		// every route (same row, same column, remote via the intersection
+		// controller) — plus the REPLY|FAIL notification forwarding and
+		// the purge relays of memory's REPLY|PURGE grant.
+		return Scenario{
+			Name: name, N: 2,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpTAS, 0}, {OpUnlock, 0}}},
+				{At: c(1, 1), Ops: []ProcOp{{OpRead, 0}, {OpTAS, 0}, {OpUnlock, 0}}},
+				{At: c(1, 0), Ops: []ProcOp{{OpTAS, 0}}},
+			},
+		}, nil
+	case "wb-locked":
+		// Explicit write-backs, including one of a line whose lock word is
+		// set: the holder acquires the lock, writes line 1 (homed on the
+		// other column, so the memory update crosses the row bus), then
+		// writes both lines back. A test-and-set racing the write-back can
+		// find the lock set in memory with no cached copy anywhere — the
+		// memory-generated REPLY|FAIL that travels the home column and is
+		// forwarded across the requester's row. Lock tries only (a SYNC
+		// would be admitted to a queue no release ever drains).
+		return Scenario{
+			Name: name, N: 2,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpWrite, 1}, {OpTAS, 0}, {OpWriteBack, 1}, {OpWriteBack, 0}}},
+				{At: c(1, 1), Ops: []ProcOp{{OpTAS, 0}}},
+				{At: c(1, 0), Ops: []ProcOp{{OpTAS, 0}}},
+			},
+		}, nil
+	case "sync-fail":
+		// Section 4's degenerate fallback, reached deterministically: one
+		// off-home-column processor acquires the lock remotely, writes the
+		// line back with the lock word still set, then SYNCs on it. With
+		// the modified-line-table entry gone, memory answers the SYNC
+		// itself — REPLY|FAIL down the home column, forwarded across the
+		// requester's row — and the processor falls back to spinning
+		// (MustSpin). The unlock then finds the line degenerated to shared
+		// and releases in software with an ordinary write.
+		return Scenario{
+			Name: name, N: 2,
+			Procs: []Proc{
+				{At: c(1, 1), Ops: []ProcOp{{OpTAS, 0}, {OpWriteBack, 0}, {OpSync, 0}, {OpUnlock, 0}}},
+			},
+		}, nil
+	case "read-snarf":
+		// The Section 3 snarf: a writer purges two readers' shared copies,
+		// leaving retained invalid tags; when either reader refetches, the
+		// reply passing the other on a shared bus is captured in flight.
+		// The reader on the writer's row exercises the row-bus serve from
+		// a non-home holder (REPLY, UPDATE), the cross-grid reader the
+		// column-bus reply relays.
+		return Scenario{
+			Name: name, N: 2, Snarf: true,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpRead, 0}, {OpRead, 0}}},
+				{At: c(1, 1), Ops: []ProcOp{{OpWrite, 0}, {OpRead, 0}}},
+				{At: c(1, 0), Ops: []ProcOp{{OpRead, 0}, {OpRead, 0}}},
+			},
+		}, nil
+	case "readmod-row-pair":
+		// Two writers on one row race ownership of a line homed on the
+		// first writer's column: the loser's READMOD is served by the
+		// winner over their shared row bus (REPLY without PURGE), the
+		// direct row-bus ownership installation that the cross-grid races
+		// never take.
+		return Scenario{
+			Name: name, N: 2,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpWrite, 2}, {OpRead, 2}}},
+				{At: c(0, 1), Ops: []ProcOp{{OpWrite, 2}, {OpRead, 2}}},
+			},
+		}, nil
+	case "sync-col-queue":
+		// A SYNC queue whose head and admitted tail share a column, with
+		// a third party probing the same lock line: the head (modified
+		// with its link word set) must stay silent for every transaction
+		// — surrendering the line to a READ or a lock try would strand
+		// the queued waiter — so requests bounce off the reserved tail
+		// and retry until the handoff drains the queue. The third party
+		// releases whatever it wins (UNLOCK is a no-op after a failed
+		// try), so every acquisition drains and no waiter starves.
+		return Scenario{
+			Name: name, N: 2,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpSync, 0}, {OpUnlock, 0}}},
+				{At: c(1, 0), Ops: []ProcOp{{OpSync, 0}, {OpUnlock, 0}}},
+				{At: c(1, 1), Ops: []ProcOp{{OpTAS, 0}, {OpUnlock, 0}, {OpRead, 0}}},
+			},
+		}, nil
+	case "read-col-pair":
+		// A reader shares a column with a modified holder while the line
+		// is homed elsewhere: the holder's serve travels their common
+		// column bus (READ REPLY, UPDATE — the no-MEMORY form), the
+		// originator installs directly off it and relays the memory
+		// update over its own row bus toward the home column (READ,
+		// UPDATE, then UPDATE|MEMORY on the home column bus).
+		return Scenario{
+			Name: name, N: 2,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpWrite, 1}}},
+				{At: c(1, 0), Ops: []ProcOp{{OpRead, 1}}},
+			},
+		}, nil
+	case "tas-purge-remote":
+		// A test-and-set that memory grants (line unmodified, lock free)
+		// to a requester off the home column: the REPLY|PURGE runs down
+		// the home column, where the intersection controller purges its
+		// own shared copy as it forwards (purge-shared-forward), then
+		// crosses the requester's row, purging the sharer there — or
+		// passing it as an invalid bystander when its read lost the race.
+		return Scenario{
+			Name: name, N: 3,
+			Procs: []Proc{
+				{At: c(1, 0), Ops: []ProcOp{{OpRead, 0}}},
+				{At: c(1, 1), Ops: []ProcOp{{OpRead, 0}}},
+				{At: c(1, 2), Ops: []ProcOp{{OpTAS, 0}, {OpUnlock, 0}}},
+			},
+		}, nil
+	case "sync-purge-remote":
+		// The SYNC twin of tas-purge-remote: memory grants a SYNC on an
+		// unmodified lock-free line exactly like a test-and-set (Section
+		// 4), so the REPLY|PURGE crosses the requester's row and purges
+		// the sharers encountered there — the row-bus purge leg of the
+		// SYNC transaction.
+		return Scenario{
+			Name: name, N: 3,
+			Procs: []Proc{
+				{At: c(1, 0), Ops: []ProcOp{{OpRead, 0}}},
+				{At: c(1, 1), Ops: []ProcOp{{OpRead, 0}}},
+				{At: c(1, 2), Ops: []ProcOp{{OpSync, 0}, {OpUnlock, 0}}},
+			},
+		}, nil
+	case "snarf-serve-row":
+		// A home-column holder serves a row READ while purged bystanders
+		// retain their invalid tags: the end node and the column node
+		// read line 1 first, then the home-column node takes ownership
+		// (purging both) and writes the line back. When the last reader
+		// finally asks, the home node serves from its shared copy over
+		// the row bus (plain REPLY) and the purged end node captures the
+		// passing line — the Section 3 snarf on a row; in the
+		// interleavings where the read beats the write-back, the serve
+		// comes from the modified home holder instead and its column-bus
+		// REPLY|UPDATE|MEMORY passes the purged column node.
+		return Scenario{
+			Name: name, N: 3, Snarf: true,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpRead, 1}}},
+				{At: c(0, 1), Ops: []ProcOp{{OpWrite, 1}, {OpWriteBack, 1}}},
+				{At: c(0, 2), Ops: []ProcOp{{OpRead, 1}}},
+				{At: c(2, 1), Ops: []ProcOp{{OpRead, 1}}},
+			},
+		}, nil
+	case "wb-steal":
+		// An explicit write-back racing a competing ownership claim that
+		// succeeds: when the READMOD's REQUEST|REMOVE drains ahead of
+		// the WRITEBACK|REMOVE, the claim serves from the holder and
+		// carries the line away, so the write-back's own remove finds
+		// the entry gone and the line no longer modified — nothing left
+		// to write (wb-lost-entry). In the opposite order the write-back
+		// lands first and the claim falls through to memory.
+		return Scenario{
+			Name: name, N: 2,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpWrite, 0}, {OpWriteBack, 0}, {OpRead, 0}}},
+				{At: c(1, 1), Ops: []ProcOp{{OpWrite, 0}, {OpRead, 0}}},
+			},
+		}, nil
+	case "sync-tail-row":
+		// sync-col-queue distilled to its lock traffic (no trailing
+		// read), so it exhausts comfortably inside the conformance
+		// budget: the admitted tail fails the third party's test-and-set
+		// over their shared row bus (tail-fail-row) in every
+		// interleaving where the queue is live when the try lands.
+		return Scenario{
+			Name: name, N: 2,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpSync, 0}, {OpUnlock, 0}}},
+				{At: c(1, 0), Ops: []ProcOp{{OpSync, 0}, {OpUnlock, 0}}},
+				{At: c(1, 1), Ops: []ProcOp{{OpTAS, 0}, {OpUnlock, 0}}},
+			},
+		}, nil
+	case "sync-tail-remote":
+		// The remote variant: the third party shares neither row nor
+		// column with the admitted tail, so the tail's failure
+		// notification routes via the intersection controller
+		// (tail-fail-remote). The try's claim is made by the queue head
+		// itself — the controller on the originator's row holding the
+		// column's table replica.
+		return Scenario{
+			Name: name, N: 2,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpSync, 0}, {OpUnlock, 0}}},
+				{At: c(1, 0), Ops: []ProcOp{{OpSync, 0}, {OpUnlock, 0}}},
+				{At: c(0, 1), Ops: []ProcOp{{OpTAS, 0}, {OpUnlock, 0}}},
+			},
+		}, nil
+	case "sync-col-3x3":
+		// A SYNC queue on a 3×3 column with a third contender below it:
+		// head and admitted tail sit on rows 0 and 1 of column 0, and
+		// the row-2 node's test-and-set reaches the tail over their
+		// shared column bus from off the tail's row — the column-bus
+		// fail route (tail-fail-col). Every acquisition pairs with an
+		// unlock, so the queue always drains and no waiter starves.
+		return Scenario{
+			Name: name, N: 3,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpSync, 0}, {OpUnlock, 0}}},
+				{At: c(1, 0), Ops: []ProcOp{{OpSync, 0}, {OpUnlock, 0}}},
+				{At: c(2, 0), Ops: []ProcOp{{OpTAS, 0}, {OpUnlock, 0}}},
+			},
+		}, nil
+	case "readmod-col-pair":
+		// Two writers sharing a column race ownership of a line homed on
+		// that same column: the loser's READMOD reaches the winner over
+		// their shared column bus and the ownership moves directly on it
+		// (REPLY, INSERT) — no row-bus leg at all.
+		return Scenario{
+			Name: name, N: 2,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpWrite, 2}, {OpRead, 2}}},
+				{At: c(1, 0), Ops: []ProcOp{{OpWrite, 2}, {OpRead, 2}}},
+			},
+		}, nil
+	case "snarf-row-3x3":
+		// Snarfing on a 3×3 row: three caches on row 0 share line 1,
+		// whose home column is the middle one, while both end nodes also
+		// write it. Serves from a non-home holder to a non-home requester
+		// cross the row bus directly (REPLY, UPDATE), the home-column
+		// node in between updating memory — or, with its copy purged and
+		// the tag retained, capturing the passing line (Section 3 snarf).
+		return Scenario{
+			Name: name, N: 3, Snarf: true,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpWrite, 1}, {OpRead, 1}}},
+				{At: c(0, 1), Ops: []ProcOp{{OpRead, 1}, {OpRead, 1}}},
+				{At: c(0, 2), Ops: []ProcOp{{OpRead, 1}, {OpWrite, 1}, {OpRead, 1}}},
+			},
+		}, nil
+	case "sync-read-mix":
+		// A SYNC queue on a lock line with a plain reader in the mix: the
+		// reader's READ can catch the queue mid-handoff — bounced by a
+		// reserved tail (restore the table entry and retransmit), deferred
+		// to a same-column holder, or orphaned entirely when the entry's
+		// remove wins against an unadmitted joiner (the revival idiom).
+		// The reader's shared copy also puts the SYNC grant's purge
+		// broadcast to work.
+		return Scenario{
+			Name: name, N: 2,
+			Procs: []Proc{
+				{At: c(0, 0), Ops: []ProcOp{{OpSync, 0}, {OpUnlock, 0}}},
+				{At: c(1, 1), Ops: []ProcOp{{OpSync, 0}, {OpUnlock, 0}}},
+				{At: c(1, 0), Ops: []ProcOp{{OpRead, 0}}},
 			},
 		}, nil
 	case "stale-shared-mp":

@@ -36,12 +36,15 @@ type shared struct {
 	// sequential-consistency searches (Options.SCNodes; zero = memmodel's
 	// default). Consulted only when the scenario sets CheckSC.
 	scNodes int
+	// instrument is Options.Instrument: a passive per-machine hook
+	// installer for grid scenarios.
+	instrument func(*coherence.System)
 
 	pool sync.Pool // *coherence.FPCache or *singlebus.FPCache (never mixed)
 }
 
 func newShared(sc *Scenario, opts *Options) *shared {
-	sh := &shared{legacyFP: opts.legacyFP, checkFP: opts.CheckFP, scNodes: opts.SCNodes}
+	sh := &shared{legacyFP: opts.legacyFP, checkFP: opts.CheckFP, scNodes: opts.SCNodes, instrument: opts.Instrument}
 	n := sc.N
 	if sc.SingleBus {
 		n = len(sc.Procs)

@@ -1,0 +1,212 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+
+	"multicube/internal/cache"
+	"multicube/internal/coherence"
+)
+
+// witnessOf finds, for one rule, a realizable (state, env) over its
+// group's care mask that enables it — the same enumeration Check uses
+// to prove satisfiability, replayed here so every spec row gets an
+// explicit Match case.
+func witnessOf(t *Table, r *Rule) (cache.State, Env, bool) {
+	var mask Env
+	for _, g := range t.Group(r.Event) {
+		mask |= g.Guard.Care
+	}
+	atoms := maskBits(mask)
+	for _, st := range allStates {
+		if !r.States.Has(st) {
+			continue
+		}
+		for idx := 0; idx < 1<<len(atoms); idx++ {
+			env := envOf(atoms, idx)
+			if consistent(r.Event, st, env, mask) && r.Guard.Matches(env) {
+				return st, env, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// TestMulticubeStatic is the table's own gate: the Appendix A rule set
+// must pass the well-formedness checker.
+func TestMulticubeStatic(t *testing.T) {
+	table := Multicube()
+	if errs := table.Check(); len(errs) > 0 {
+		for _, e := range errs {
+			t.Error(e)
+		}
+	}
+	t.Logf("%d rules over %d events", len(table.Rules()), len(table.Events()))
+}
+
+// TestMulticubeRowWitnesses runs one Match case per spec row: for every
+// rule a realizable witness (state, env) exists, and Match on that
+// witness selects exactly that rule — first-match order never shadows a
+// row.
+func TestMulticubeRowWitnesses(t *testing.T) {
+	table := Multicube()
+	for _, r := range table.Rules() {
+		st, env, ok := witnessOf(table, r)
+		if !ok {
+			t.Errorf("rule %s: no realizable witness", r.Name)
+			continue
+		}
+		got, ok := table.Match(r.Event, st, env)
+		if !ok {
+			t.Errorf("rule %s: witness (%v, %v) matches nothing", r.Name, coherence.StateName(st), env)
+			continue
+		}
+		if got != r {
+			t.Errorf("rule %s: witness (%v, %v) selects %s instead", r.Name, coherence.StateName(st), env, got.Name)
+		}
+	}
+}
+
+// TestMulticubeDocumented: every row cites the protocol clause it
+// encodes, and every Unreachable annotation carries a reason.
+func TestMulticubeDocumented(t *testing.T) {
+	for _, r := range Multicube().Rules() {
+		if strings.TrimSpace(r.Doc) == "" {
+			t.Errorf("rule %s has no doc", r.Name)
+		}
+	}
+}
+
+// TestMulticubeDeterministic: two independent constructions agree row
+// for row — names, events, state sets, guards, actions, and next-state
+// prescriptions in identical declaration order — so the table is a pure
+// function of the source, not of map iteration or shared state.
+func TestMulticubeDeterministic(t *testing.T) {
+	a, b := Multicube(), Multicube()
+	ra, rb := a.Rules(), b.Rules()
+	if len(ra) != len(rb) {
+		t.Fatalf("rule counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		x, y := ra[i], rb[i]
+		if x.Name != y.Name || x.Event != y.Event || x.States != y.States ||
+			x.Guard != y.Guard || x.Next != y.Next || x.MLT != y.MLT ||
+			x.SideTraffic != y.SideTraffic || x.Unreachable != y.Unreachable ||
+			len(x.Actions) != len(y.Actions) {
+			t.Fatalf("row %d differs between constructions: %v vs %v", i, x, y)
+		}
+		for j := range x.Actions {
+			if x.Actions[j] != y.Actions[j] {
+				t.Fatalf("row %d action %d differs: %v vs %v", i, j, x.Actions[j], y.Actions[j])
+			}
+		}
+	}
+	evs1, evs2 := a.Events(), a.Events()
+	for i := range evs1 {
+		if evs1[i] != evs2[i] {
+			t.Fatalf("Events() order unstable at %d: %v vs %v", i, evs1[i], evs2[i])
+		}
+	}
+}
+
+// TestMatchFirstDeclared: when two rules overlap, Match returns the one
+// declared first. (Multicube has no overlaps — Check forbids them — so
+// the contract is pinned on a synthetic table.)
+func TestMatchFirstDeclared(t *testing.T) {
+	e := Event{Dim: coherence.Row, Txn: coherence.READ, Flags: coherence.REQUEST}
+	first := &Rule{Name: "first", Event: e, States: AnyState, Guard: G(Y(AtomHome))}
+	second := &Rule{Name: "second", Event: e, States: AnyState}
+	tb := New([]*Rule{first, second})
+	env := Env(0).With(AtomHome, true)
+	if r, ok := tb.Match(e, coherence.Invalid, env); !ok || r != first {
+		t.Fatalf("overlapping match returned %v, want first", r)
+	}
+	if r, ok := tb.Match(e, coherence.Invalid, 0); !ok || r != second {
+		t.Fatalf("fallback match returned %v, want second", r)
+	}
+	if _, ok := tb.Match(Event{Dim: coherence.Col, Txn: coherence.READ, Flags: coherence.REQUEST}, coherence.Invalid, 0); ok {
+		t.Fatal("match on an unknown event group succeeded")
+	}
+}
+
+// Check must reject malformed tables: seeded defects of each class are
+// reported, naming the offending rows.
+func TestCheckRejectsDefects(t *testing.T) {
+	e := Event{Dim: coherence.Col, Txn: coherence.READMOD, Flags: coherence.REQUEST | coherence.REMOVE}
+	cases := []struct {
+		name  string
+		rules []*Rule
+		want  string
+	}{
+		{
+			name: "duplicate-name",
+			rules: []*Rule{
+				{Name: "dup", Event: e, States: AnyState, Guard: G(Y(AtomOrigin))},
+				{Name: "dup", Event: e, States: AnyState, Guard: G(N(AtomOrigin))},
+			},
+			want: "duplicate rule name",
+		},
+		{
+			name: "overlap",
+			rules: []*Rule{
+				{Name: "a", Event: e, States: AnyState},
+				{Name: "b", Event: e, States: AnyState, Guard: G(Y(AtomHome))},
+			},
+			want: "enables 2 rules",
+		},
+		{
+			name: "hole",
+			rules: []*Rule{
+				{Name: "only-home", Event: e, States: AnyState, Guard: G(Y(AtomHome))},
+			},
+			want: "enables no rule",
+		},
+		{
+			name: "unsatisfiable",
+			rules: []*Rule{
+				{Name: "wild", Event: e, States: AnyState},
+				// An originator off its own row is not a realizable
+				// environment, so this rule can never be enabled.
+				{Name: "origin-elsewhere", Event: e, States: AnyState,
+					Guard: G(Y(AtomOrigin), N(AtomSameRow))},
+			},
+			want: "unsatisfiable",
+		},
+		{
+			name: "unnamed",
+			rules: []*Rule{
+				{Event: e, States: AnyState},
+			},
+			want: "no name",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := New(tc.rules).Check()
+			for _, err := range errs {
+				if strings.Contains(err.Error(), tc.want) {
+					return
+				}
+			}
+			t.Fatalf("no error mentioning %q; got %v", tc.want, errs)
+		})
+	}
+}
+
+// TestGuardMatches pins the bitmask semantics literals compile to.
+func TestGuardMatches(t *testing.T) {
+	g := G(Y(AtomOrigin), N(AtomSuppressed))
+	env := Env(0).With(AtomOrigin, true).With(AtomHome, true)
+	if !g.Matches(env) {
+		t.Fatal("guard should ignore atoms outside its care set")
+	}
+	if g.Matches(env.With(AtomSuppressed, true)) {
+		t.Fatal("negative literal not enforced")
+	}
+	if g.Matches(env.With(AtomOrigin, false)) {
+		t.Fatal("positive literal not enforced")
+	}
+	if !(Guard{}).Matches(env) {
+		t.Fatal("empty guard must match everything")
+	}
+}

@@ -1,0 +1,151 @@
+package singlebus
+
+import (
+	"testing"
+
+	"multicube/internal/sim"
+)
+
+func newMESI(t *testing.T, procs int) *Machine {
+	t.Helper()
+	m, err := New(Config{Processors: procs, BlockWords: 4, Protocol: ProtocolMESI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMESIValidation(t *testing.T) {
+	if _, err := New(Config{Processors: 1, Protocol: "firefly"}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := New(Config{Processors: 1, Protocol: ProtocolMESI}); err != nil {
+		t.Errorf("mesi rejected: %v", err)
+	}
+}
+
+func TestMESIExclusiveOnLoneRead(t *testing.T) {
+	// A read miss nobody else holds installs Exclusive (the Reserved
+	// slot), not Shared.
+	m := newMESI(t, 2)
+	m.SeedMemory(0, []uint64{1, 2, 3, 4})
+	var got uint64
+	m.Spawn(0, func(c *Ctx) { got = c.Load(2) })
+	m.Run()
+	if got != 3 {
+		t.Fatalf("load = %d, want 3", got)
+	}
+	if e, ok := m.Processor(0).Cache().Lookup(0); !ok || e.State != Reserved {
+		t.Error("lone read miss did not install Exclusive")
+	}
+	quiet(t, m)
+}
+
+func TestMESISharedWhenHeldElsewhere(t *testing.T) {
+	// The second reader sees the sharers wire and installs Shared; the
+	// first holder falls from Exclusive to Shared on the same snoop.
+	m := newMESI(t, 2)
+	m.SeedMemory(0, []uint64{7})
+	m.Spawn(0, func(c *Ctx) { c.Load(0) })
+	m.Spawn(1, func(c *Ctx) {
+		c.Sleep(50 * sim.Microsecond)
+		c.Load(0)
+	})
+	m.Run()
+	for p := 0; p < 2; p++ {
+		if e, ok := m.Processor(p).Cache().Lookup(0); !ok || e.State != Valid {
+			t.Errorf("processor %d not Shared after second read", p)
+		}
+	}
+	quiet(t, m)
+}
+
+func TestMESISilentExclusiveUpgrade(t *testing.T) {
+	// A store to an Exclusive line goes to Modified without any bus
+	// transaction: memory must still hold the pre-store value.
+	m := newMESI(t, 2)
+	m.SeedMemory(0, []uint64{7})
+	m.Spawn(0, func(c *Ctx) {
+		c.Load(0)
+		c.Store(0, 99)
+	})
+	m.Run()
+	if e, ok := m.Processor(0).Cache().Lookup(0); !ok || e.State != Dirty {
+		t.Error("store to Exclusive did not leave Modified")
+	}
+	if got := m.mem.store.Peek(0)[0]; got != 7 {
+		t.Errorf("memory = %d after silent upgrade, want stale 7", got)
+	}
+	if got := m.ReadCoherent(0); got != 99 {
+		t.Errorf("ReadCoherent = %d, want 99", got)
+	}
+	quiet(t, m)
+}
+
+func TestMESISharedUpgradeLeavesModified(t *testing.T) {
+	// A store to a Shared line rides the write-once word transaction to
+	// invalidate the other copy, but lands in Modified (MESI has no
+	// written-exactly-once state).
+	m := newMESI(t, 2)
+	m.SeedMemory(0, []uint64{7})
+	m.Spawn(0, func(c *Ctx) { c.Load(0) })
+	m.Spawn(1, func(c *Ctx) {
+		c.Sleep(50 * sim.Microsecond)
+		c.Load(0)
+		c.Store(0, 99)
+	})
+	m.Run()
+	if e, ok := m.Processor(1).Cache().Lookup(0); !ok || e.State != Dirty {
+		t.Error("upgrading store did not leave Modified")
+	}
+	if _, ok := m.Processor(0).Cache().Lookup(0); ok {
+		t.Error("other sharer not invalidated by the upgrade")
+	}
+	quiet(t, m)
+}
+
+func TestMESIRemoteReadDowngradesModified(t *testing.T) {
+	// A remote read of a Modified line is supplied by the owner, which
+	// falls to Shared while the same transaction updates memory.
+	m := newMESI(t, 2)
+	m.Spawn(0, func(c *Ctx) { c.Store(0, 41) })
+	m.Spawn(1, func(c *Ctx) {
+		c.Sleep(50 * sim.Microsecond)
+		if got := c.Load(0); got != 41 {
+			t.Errorf("remote read = %d, want 41", got)
+		}
+	})
+	m.Run()
+	if e, ok := m.Processor(0).Cache().Lookup(0); !ok || e.State != Valid {
+		t.Error("owner not Shared after remote read")
+	}
+	if e, ok := m.Processor(1).Cache().Lookup(0); !ok || e.State != Valid {
+		t.Error("reader not Shared after supplied read")
+	}
+	if got := m.mem.store.Peek(0)[0]; got != 41 {
+		t.Errorf("memory = %d after reflection, want 41", got)
+	}
+	quiet(t, m)
+}
+
+func TestMESIWriteOnceFingerprintUnchanged(t *testing.T) {
+	// The sharers wire is hashed only when asserted, so a write-once
+	// machine's fingerprints are identical to the pre-MESI encoding: two
+	// write-once machines running the same program must agree, and the
+	// wire must never be driven outside MESI mode.
+	run := func(proto string) uint64 {
+		m := MustNew(Config{Processors: 2, BlockWords: 4, Protocol: proto})
+		m.SeedMemory(0, []uint64{7})
+		m.Spawn(0, func(c *Ctx) { c.Load(0) })
+		m.Run()
+		return m.Fingerprint(nil, nil)
+	}
+	if run(ProtocolWriteOnce) != run(ProtocolWriteOnce) {
+		t.Error("write-once fingerprint not reproducible")
+	}
+	// A lone read miss ends Valid under write-once but Exclusive under
+	// MESI, so the two protocols' final states must not alias.
+	if run(ProtocolWriteOnce) == run(ProtocolMESI) {
+		t.Error("write-once and mesi final states alias")
+	}
+}

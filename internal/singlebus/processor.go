@@ -184,9 +184,19 @@ func (p *Processor) probe(o *op) {
 			o.inhibit = true
 			o.data = append([]uint64(nil), wb.data...)
 		} else if o.origin != p.id {
-			if e, ok := p.cache.Lookup(o.line); ok && e.State == Dirty {
-				o.inhibit = true
-				o.data = append([]uint64(nil), e.Data...)
+			if e, ok := p.cache.Lookup(o.line); ok {
+				if e.State == Dirty {
+					o.inhibit = true
+					o.data = append([]uint64(nil), e.Data...)
+				}
+				// MESI sharers wire: any valid copy elsewhere forces the
+				// read-miss originator down to Shared. A write-back buffer
+				// supply deliberately does not assert it — the victimized
+				// copy is gone once the flush cancels, leaving the reader
+				// the only holder.
+				if p.m.mesi() {
+					o.shared = true
+				}
 			}
 		}
 	case opWriteWord:
@@ -220,7 +230,13 @@ func (p *Processor) snoop(o *op) {
 		}
 	case opRead:
 		if o.origin == p.id {
-			p.fill(o, Valid)
+			st := Valid
+			if p.m.mesi() && !o.shared {
+				// No other cache held the line: install Exclusive
+				// (Reserved slot) so a later store stays off the bus.
+				st = Reserved
+			}
+			p.fill(o, st)
 			return
 		}
 		if have {
@@ -243,10 +259,16 @@ func (p *Processor) snoop(o *op) {
 	case opWriteWord:
 		if o.origin == p.id {
 			if o.confirmed {
-				// Our write-through completed: apply it, claim Reserved.
+				// Our write-through completed: apply it, claim Reserved —
+				// or Modified under MESI, which has no written-exactly-once
+				// state (the bus word doubles as the invalidation).
 				old := e.Data[o.offset]
 				e.Data[o.offset] = o.value
-				e.State = Reserved
+				st := Reserved
+				if p.m.mesi() {
+					st = Dirty
+				}
+				e.State = st
 				if p.pend != nil && p.pend.line == o.line && p.pend.write {
 					p.complete(old)
 				}

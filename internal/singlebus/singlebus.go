@@ -15,6 +15,21 @@
 //
 // The first write to a Valid line is written through (one word on the
 // bus), invalidating other copies; subsequent writes stay local.
+//
+// Config.Protocol selects an alternative snooper on the same machine:
+// ProtocolMESI runs the four-state invalidation protocol the later
+// snooping literature converged on, reusing the write-once state slots
+// (Valid ↦ Shared, Reserved ↦ Exclusive-clean, Dirty ↦ Modified). MESI
+// differs from write-once in exactly two transitions — a read miss that
+// no other cache holds installs Exclusive instead of Valid (the sharers
+// wire, op.shared, is sampled during the probe phase), and the
+// invalidating write-through from Shared leaves the line Modified
+// instead of Reserved, since MESI has no written-exactly-once state.
+// Everything else — the atomic bus, the dirty inhibit/supply, the
+// write-back buffer, the invariant checker — is protocol-independent
+// and shared verbatim, which is what makes the two snoopers
+// differentially comparable.
+//
 // The package participates in the explorer's determinism contract: no
 // wall clock, no map-order dependence, no scheduling outside the chooser
 // seam. multicube-vet enforces this (see internal/analysis).
@@ -31,12 +46,24 @@ import (
 	"multicube/internal/sim"
 )
 
-// Line states.
+// Line states. Under ProtocolMESI the same slots carry the MESI
+// meanings: Valid is Shared, Reserved is Exclusive (clean), Dirty is
+// Modified — every invariant the checker states in terms of the slots
+// (single exclusive copy, clean states equal memory) holds for both
+// readings.
 const (
 	Invalid              = cache.Invalid
 	Valid    cache.State = 1
 	Reserved cache.State = 2
 	Dirty    cache.State = 3
+)
+
+// Protocol names for Config.Protocol.
+const (
+	// ProtocolWriteOnce is Goodman's write-once snooper, the default.
+	ProtocolWriteOnce = ""
+	// ProtocolMESI is the four-state invalidation snooper.
+	ProtocolMESI = "mesi"
 )
 
 // Addr is a word address.
@@ -57,6 +84,9 @@ type Config struct {
 	AddrWords     int
 	CacheLatency  sim.Time
 	MemoryLatency sim.Time
+	// Protocol selects the snooper: ProtocolWriteOnce (the default) or
+	// ProtocolMESI.
+	Protocol string
 }
 
 func (c *Config) fillDefaults() {
@@ -83,6 +113,9 @@ func (c *Config) validate() error {
 	}
 	if c.BlockWords < 1 {
 		return fmt.Errorf("singlebus: block size %d", c.BlockWords)
+	}
+	if c.Protocol != ProtocolWriteOnce && c.Protocol != ProtocolMESI {
+		return fmt.Errorf("singlebus: unknown protocol %q", c.Protocol)
 	}
 	return nil
 }
@@ -122,7 +155,13 @@ type op struct {
 	// memory (READ) or transferred ownership (READ-INV), so memory must
 	// ignore the stale flush when it finally delivers.
 	canceled bool
-	occ      sim.Time
+	// shared is the MESI sharers wire: asserted during Probe by any
+	// non-origin cache holding the line in a valid state, it tells a
+	// read-miss originator to install Shared rather than Exclusive.
+	// Never asserted in write-once mode, so write-once fingerprints are
+	// unchanged.
+	shared bool
+	occ    sim.Time
 }
 
 func (o *op) Occupancy() sim.Time { return o.occ }
@@ -194,6 +233,9 @@ func MustNew(cfg Config) *Machine {
 
 // Kernel exposes the simulation kernel.
 func (m *Machine) Kernel() *sim.Kernel { return m.k }
+
+// mesi reports whether the MESI snooper is selected.
+func (m *Machine) mesi() bool { return m.cfg.Protocol == ProtocolMESI }
 
 // EnableModelChecking puts the machine in exhaustive-exploration mode,
 // mirroring coherence.System.EnableModelChecking: every pending kernel

@@ -59,6 +59,12 @@ func (o *op) fp(perm []int) uint64 {
 	h.bit(o.inhibit)
 	h.bit(o.confirmed)
 	h.bit(o.canceled)
+	if o.shared {
+		// MESI sharers wire. Hashed only when asserted so write-once
+		// fingerprints are byte-identical to the pre-MESI encoding; in
+		// write-once mode the wire is never driven.
+		h.byte(1)
+	}
 	return uint64(h)
 }
 
