@@ -6,6 +6,13 @@
 //	multicube-sim [-n 8] [-block 16] [-requests 200] [-think 10us]
 //	              [-pshared 0.5] [-pwrite 0.3] [-shared-lines 64]
 //	              [-cache-lines 0] [-mlt 0] [-snarf] [-seed 1]
+//	              [-workers 0] [-arb fcfs]
+//
+// With -workers N (N > 0), the timed simulation runs on the conservative
+// parallel engine with N worker goroutines — one partition per machine
+// column — and prints the wall-clock event rate. Results are identical
+// to the sequential default. -arb selects the bus service discipline
+// (fcfs, rr, priority) for the arbitration ablation.
 //
 // With -trace-out, the generated reference stream is also written as a
 // text trace replayable by multicube-sim -trace-in.
@@ -24,6 +31,7 @@ import (
 	"os"
 	"time"
 
+	"multicube/internal/bus"
 	"multicube/internal/core"
 	"multicube/internal/memmodel"
 	"multicube/internal/sim"
@@ -44,6 +52,8 @@ func main() {
 	mlt := flag.Int("mlt", 0, "modified line table entries (0 = unbounded)")
 	snarf := flag.Bool("snarf", false, "enable retained-tag snarfing")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	workers := flag.Int("workers", 0, "parallel engine workers (0 = sequential kernel)")
+	arbName := flag.String("arb", "fcfs", "bus arbitration: fcfs, rr, or priority")
 	traceIn := flag.String("trace-in", "", "replay a text trace instead of the generator")
 	traceOut := flag.String("trace-out", "", "write the generated references as a text trace")
 	memMode := flag.Bool("memmodel", false, "run litmus stress programs and SC-check their histories")
@@ -57,11 +67,17 @@ func main() {
 		return
 	}
 
+	arb, err := bus.ParseArbitration(*arbName)
+	if err != nil {
+		fatal(err)
+	}
 	m, err := core.New(core.Config{
 		N: *n, BlockWords: *block,
 		CacheLines: *cacheLines, CacheAssoc: 4,
 		MLTEntries: *mlt, MLTAssoc: 4,
-		Snarf: *snarf,
+		Snarf:       *snarf,
+		Arbitration: arb,
+		Parallel:    *workers,
 	})
 	if err != nil {
 		fatal(err)
@@ -95,13 +111,25 @@ func main() {
 		PWrite:      *pwrite,
 		Requests:    *requests,
 	}
+	start := time.Now()
 	rep := workload.Run(m, cfg)
+	wall := time.Since(start)
 
 	fmt.Printf("machine   %s\n", describe(m))
 	fmt.Printf("workload  %s\n\n", cfg.Describe())
 	fmt.Print(m.Metrics())
 	fmt.Printf("\nefficiency        %.4f\n", rep.Efficiency())
 	fmt.Printf("bus request rate  %.2f req/ms/processor\n", rep.BusRate(m.Processors()))
+	// The wall-clock rate line is printed only in parallel mode, keeping
+	// the sequential output byte-stable (and wall time out of it).
+	if *workers > 0 {
+		fmt.Printf("parallel engine   %d workers over %d columns: %d events in %v (%.0f events/sec)\n",
+			m.Runner().Workers(), m.Runner().Parts(), m.Executed(), wall.Round(time.Millisecond),
+			float64(m.Executed())/wall.Seconds())
+		st := m.Runner().Stats()
+		fmt.Printf("parallel phases   %d windows (%d jobs, %d events), %d boundaries (%d steps), parallelism %.2f\n",
+			st.Windows, st.Jobs, st.WinSteps, st.Boundaries, st.Bsteps, st.Parallelism())
+	}
 	checkInvariants(m)
 
 	if *traceOut != "" {

@@ -1,5 +1,5 @@
 // Command multicube-vet runs the repository's invariant suite — genbump,
-// detmap, nowallclock, chooserseam — over the given package patterns
+// detmap, nowallclock, chooserseam, nolockstep — over the given package patterns
 // (default ./...). It exits 0 when clean, 1 with findings, 2 on errors,
 // mirroring go vet. See internal/analysis and each pass's package
 // documentation for the enforced invariants and the //multicube:

@@ -45,6 +45,19 @@ import (
 //	    On (or before) a go statement or select: the nondeterminism is
 //	    outside the explored state space (e.g. a worker pool whose results
 //	    are re-derived deterministically).
+//
+//	//multicube:parallel-runtime <reason>
+//	    File marker (conventionally in the file's doc comment): the file
+//	    implements deterministic parallel execution, opting it into the
+//	    nolockstep pass.
+//
+//	//multicube:syncpoint <reason>
+//	    On a function declaration in a parallel-runtime file: the
+//	    function is an audited synchronization point, where concurrency
+//	    primitives are allowed.
+//
+//	//multicube:nolockstep-ok <reason>
+//	    Escape hatch for nolockstep findings.
 const directivePrefix = "//multicube:"
 
 // Directive is one parsed //multicube: comment.

@@ -14,6 +14,7 @@ import (
 	"multicube/internal/analysis/chooserseam"
 	"multicube/internal/analysis/detmap"
 	"multicube/internal/analysis/genbump"
+	"multicube/internal/analysis/nolockstep"
 	"multicube/internal/analysis/nowallclock"
 )
 
@@ -24,6 +25,7 @@ func Suite() []*analysis.Analyzer {
 		detmap.Analyzer,
 		nowallclock.Analyzer,
 		chooserseam.Analyzer,
+		nolockstep.Analyzer,
 	}
 }
 

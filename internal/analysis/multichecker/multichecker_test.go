@@ -15,7 +15,7 @@ const (
 )
 
 func TestSuiteNames(t *testing.T) {
-	want := []string{"genbump", "detmap", "nowallclock", "chooserseam"}
+	want := []string{"genbump", "detmap", "nowallclock", "chooserseam", "nolockstep"}
 	suite := multichecker.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

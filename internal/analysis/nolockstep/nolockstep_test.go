@@ -1,0 +1,13 @@
+package nolockstep_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"multicube/internal/analysis/analysistest"
+	"multicube/internal/analysis/nolockstep"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "lockfix"), nolockstep.Analyzer)
+}

@@ -1,0 +1,12 @@
+// unmarked.go carries no parallel-runtime directive, so the analyzer
+// ignores it even though the package's other file is marked: the
+// discipline is per file, matching how internal/sim keeps its parallel
+// runtime in one audited file.
+package lockfix
+
+func unmarked(p *pool) {
+	go drain(p)
+	p.jobs <- 3
+	<-p.done
+	p.mu.Lock()
+}

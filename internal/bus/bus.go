@@ -57,7 +57,39 @@ const (
 	// RoundRobin grants the next waiting agent after the last grantee,
 	// cycling by attach index; requests from one agent stay ordered.
 	RoundRobin
+	// Priority grants the waiting agent with the lowest attach index —
+	// fixed priority by attach order, the head-of-line discipline of the
+	// Nikolov & Lerato bus-arbitration study (arXiv:1004.3560). On a row
+	// bus that favors low-numbered columns; on a column bus, low rows
+	// ahead of the memory module.
+	Priority
 )
+
+// ParseArbitration maps a flag spelling to a policy.
+func ParseArbitration(s string) (Arbitration, error) {
+	switch s {
+	case "fcfs", "fifo":
+		return FIFO, nil
+	case "rr", "roundrobin":
+		return RoundRobin, nil
+	case "priority":
+		return Priority, nil
+	}
+	return 0, fmt.Errorf("unknown arbitration %q (want fcfs, rr, or priority)", s)
+}
+
+// String renders the policy in its canonical flag spelling.
+func (a Arbitration) String() string {
+	switch a {
+	case FIFO:
+		return "fcfs"
+	case RoundRobin:
+		return "rr"
+	case Priority:
+		return "priority"
+	}
+	return fmt.Sprintf("Arbitration(%d)", int(a))
+}
 
 // Stats aggregates bus activity for utilization and latency reporting.
 type Stats struct {
@@ -254,6 +286,8 @@ func (b *Bus) next() (pending, bool) {
 		b.queued--
 		return p, true
 	}
+	// Priority shares this scan: its last stays -1, so the walk is
+	// always ascending attach index from 0.
 	n := len(b.agents)
 	for i := 1; i <= n; i++ {
 		src := (b.last + i) % n
@@ -261,7 +295,9 @@ func (b *Bus) next() (pending, bool) {
 			p := b.perSrc[src][0]
 			b.perSrc[src] = b.perSrc[src][1:]
 			b.queued--
-			b.last = src
+			if b.arb == RoundRobin {
+				b.last = src
+			}
 			return p, true
 		}
 	}

@@ -3,6 +3,7 @@ package coherence
 import (
 	"fmt"
 
+	"multicube/internal/cache"
 	"multicube/internal/memory"
 	"multicube/internal/sim"
 	"multicube/internal/topology"
@@ -18,12 +19,26 @@ type Memory struct {
 	col    int
 	store  *memory.Store
 	busIdx int
+	// k is the kernel this module schedules on (its column's partition
+	// kernel in parallel mode); shard the matching accounting shard.
+	k     *sim.Kernel
+	shard *sysShard
 
 	// gen counts mutations of fingerprint-visible memory state; every
 	// store mutation happens inside snoop, which bumps it.
 	//
 	//multicube:gencounter
 	gen uint64
+}
+
+// dataOp and replyOp build payload-carrying operations stamped with this
+// module's clock.
+func (m *Memory) dataOp(txn Txn, flags Flags, origin topology.Coord, line cache.Line, data []uint64, trace *TxnTrace) *Op {
+	return m.sys.dataOpAt(m.k.Now(), txn, flags, origin, line, data, trace)
+}
+
+func (m *Memory) replyOp(txn Txn, flags Flags, origin topology.Coord, line cache.Line, data []uint64, trace *TxnTrace) *Op {
+	return m.sys.replyOpAt(m.k.Now(), txn, flags, origin, line, data, trace)
 }
 
 // Store exposes the underlying storage for seeding and invariant checks.
@@ -44,7 +59,7 @@ func (m *Memory) issueAfter(d sim.Time, op *Op) {
 		return
 	}
 	tag := EnqueueTag{Issuer: topology.Coord{Row: -1, Col: m.col}, Dim: Col, Op: op, bus: m.sys.cols[m.col]}
-	m.sys.k.AfterTagged(d, tag, func() { m.sys.cols[m.col].Request(m.busIdx, op) })
+	m.k.AfterTagged(d, tag, func() { m.sys.cols[m.col].Request(m.busIdx, op) })
 }
 
 func (m *Memory) snoop(op *Op) {
@@ -94,14 +109,14 @@ func (m *Memory) handleRequest(op *Op) {
 	switch op.Txn {
 	case READ:
 		data := m.store.Read(line)
-		m.issueAfter(lat, m.sys.dataOp(READ, REPLY|NOPURGE, op.Origin, op.Line, data, op.trace))
+		m.issueAfter(lat, m.dataOp(READ, REPLY|NOPURGE, op.Origin, op.Line, data, op.trace))
 	case READMOD:
 		var data []uint64
 		if !op.Flags.Has(ALLOC) {
 			data = m.store.Read(line)
 		}
 		m.store.Invalidate(line)
-		m.issueAfter(lat, m.sys.replyOp(READMOD, REPLY|PURGE|(op.Flags&ALLOC), op.Origin, op.Line, data, op.trace))
+		m.issueAfter(lat, m.replyOp(READMOD, REPLY|PURGE|(op.Flags&ALLOC), op.Origin, op.Line, data, op.trace))
 	case TAS, SYNC:
 		// The test-and-set executes in memory when the line is
 		// unmodified. Success moves the line (with the lock taken) to
@@ -114,7 +129,7 @@ func (m *Memory) handleRequest(op *Op) {
 		}
 		data[LockWord] = 1
 		m.store.Invalidate(line)
-		m.issueAfter(lat, m.sys.dataOp(op.Txn, REPLY|PURGE, op.Origin, op.Line, data, op.trace))
+		m.issueAfter(lat, m.dataOp(op.Txn, REPLY|PURGE, op.Origin, op.Line, data, op.trace))
 	default:
 		panic(fmt.Sprintf("coherence: memory received request with transaction %v", op.Txn))
 	}

@@ -73,6 +73,11 @@ type Node struct {
 	id    topology.Coord
 	l2    *cache.Cache
 	table *mlt.Table
+	// k is the kernel this node schedules on and reads its clock from:
+	// the system kernel, or the node's column-partition kernel in
+	// parallel mode. shard is the matching accounting shard.
+	k     *sim.Kernel
+	shard *sysShard
 
 	rowIdx, colIdx int
 
@@ -117,7 +122,11 @@ func newNode(s *System, id topology.Coord) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Node{sys: s, id: id, l2: l2, table: table, purgedAt: make(map[cache.Line]sim.Time)}, nil
+	return &Node{
+		sys: s, id: id, l2: l2, table: table,
+		k: s.colKernel(id.Col), shard: s.colShard(id.Col),
+		purgedAt: make(map[cache.Line]sim.Time),
+	}, nil
 }
 
 // ID returns the node's grid coordinate.
@@ -158,6 +167,15 @@ func (n *Node) issueRow(op *Op) {
 	if n.sys.OpLog != nil {
 		n.sys.OpLog(Row, n.id, op)
 	}
+	// Row buses are the cross-partition seam: inside a parallel window
+	// the request is deferred to the next synchronization boundary,
+	// where the runner replays it in deterministic merge order. In
+	// sequential mode, and in the runner's own coordinator phases, the
+	// request proceeds inline exactly as before.
+	if par := n.sys.par; par != nil && !par.InGlobal() {
+		par.Defer(n.id.Col, func() { n.sys.rows[n.id.Row].Request(n.rowIdx, op) })
+		return
+	}
 	n.sys.rows[n.id.Row].Request(n.rowIdx, op)
 }
 
@@ -186,7 +204,7 @@ func (n *Node) issueRowAfter(d sim.Time, op *Op) {
 	}
 	n.sys.recordIntent(Row, op)
 	tag := EnqueueTag{Issuer: n.id, Dim: Row, Op: op, bus: n.sys.rows[n.id.Row]}
-	n.sys.k.AfterTagged(d, tag, func() { n.issueRow(op) })
+	n.k.AfterTagged(d, tag, func() { n.issueRow(op) })
 }
 
 func (n *Node) issueColAfter(d sim.Time, op *Op) {
@@ -196,7 +214,21 @@ func (n *Node) issueColAfter(d sim.Time, op *Op) {
 	}
 	n.sys.recordIntent(Col, op)
 	tag := EnqueueTag{Issuer: n.id, Dim: Col, Op: op, bus: n.sys.cols[n.id.Col]}
-	n.sys.k.AfterTagged(d, tag, func() { n.issueCol(op) })
+	n.k.AfterTagged(d, tag, func() { n.issueCol(op) })
+}
+
+// dataOp and replyOp build payload-carrying operations stamped with this
+// node's clock; recordCompletion charges the node's shard.
+func (n *Node) dataOp(txn Txn, flags Flags, origin topology.Coord, line cache.Line, data []uint64, trace *TxnTrace) *Op {
+	return n.sys.dataOpAt(n.k.Now(), txn, flags, origin, line, data, trace)
+}
+
+func (n *Node) replyOp(txn Txn, flags Flags, origin topology.Coord, line cache.Line, data []uint64, trace *TxnTrace) *Op {
+	return n.sys.replyOpAt(n.k.Now(), txn, flags, origin, line, data, trace)
+}
+
+func (n *Node) recordCompletion(tr *TxnTrace) {
+	n.shard.recordCompletion(n.k.Now(), tr)
 }
 
 // --- processor interface ------------------------------------------------
@@ -306,14 +338,14 @@ func (n *Node) WriteBack(line cache.Line, done func(Result)) {
 		done(Result{})
 		return
 	}
-	trace := &TxnTrace{Txn: WRITEBACK, Line: line, Started: n.sys.k.Now()}
+	trace := &TxnTrace{Txn: WRITEBACK, Line: line, Started: n.k.Now()}
 	//multicube:fpexempt continuation of WriteBack, which bumped at entry
 	n.startWriteback(line, trace, func() {
 		// "mark line shared" — the generic (non-victim) path.
 		if e, ok := n.l2.Lookup(line); ok && e.State == Modified {
 			e.State = Shared
 		}
-		n.sys.recordCompletion(trace)
+		n.recordCompletion(trace)
 		done(Result{Trace: *trace})
 	})
 }
@@ -338,7 +370,7 @@ func (n *Node) beginPending(txn Txn, flags Flags, line cache.Line, done func(Res
 			n.id, txn, line, n.pend.txn, n.pend.line))
 	}
 	n.stats.Transactions++
-	tr := &TxnTrace{Txn: txn, Line: line, Started: n.sys.k.Now()}
+	tr := &TxnTrace{Txn: txn, Line: line, Started: n.k.Now()}
 	n.pend = &pending{txn: txn, flags: flags, line: line, trace: tr, done: done}
 }
 
@@ -353,14 +385,14 @@ func (n *Node) startTransaction(txn Txn, flags Flags, line cache.Line, done func
 	v := n.l2.SelectVictim(line)
 	if v != nil && v.State == Modified {
 		victim := v.Line
-		wbTrace := &TxnTrace{Txn: WRITEBACK, Line: victim, Started: n.sys.k.Now()}
+		wbTrace := &TxnTrace{Txn: WRITEBACK, Line: victim, Started: n.k.Now()}
 		//multicube:fpexempt continuation of an entry point that bumped
 		n.startWriteback(victim, wbTrace, func() {
 			// "wait for continue; mark line invalid" — the victim slot
 			// is freed for the incoming line.
 			n.l2.Invalidate(victim)
 			n.notifyInvalidate(victim)
-			n.sys.recordCompletion(wbTrace)
+			n.recordCompletion(wbTrace)
 			issue()
 		})
 		return
@@ -386,12 +418,12 @@ func (n *Node) startWriteback(line cache.Line, trace *TxnTrace, cont func()) {
 func (n *Node) complete(op *Op, res Result) {
 	p := n.pend
 	if p == nil || p.line != op.Line || p.txn != op.Txn {
-		n.sys.strays++
+		n.shard.strays++
 		return
 	}
 	n.pend = nil
 	res.Trace = *p.trace
-	n.sys.recordCompletion(p.trace)
+	n.recordCompletion(p.trace)
 	p.done(res)
 }
 
@@ -404,7 +436,7 @@ func (n *Node) matchesPending(op *Op) bool {
 // notifyInvalidate tells the machine layer a line left the cache and
 // timestamps the departure for snarf staleness checks.
 func (n *Node) notifyInvalidate(line cache.Line) {
-	n.purgedAt[line] = n.sys.k.Now()
+	n.purgedAt[line] = n.k.Now()
 	if n.OnInvalidate != nil {
 		n.OnInvalidate(line)
 	}
@@ -463,9 +495,9 @@ func (n *Node) tableInsert(line cache.Line, trace *TxnTrace) {
 	}
 	data := append([]uint64(nil), e.Data...)
 	if n.onHomeColumn(ovLine) {
-		n.issueCol(n.sys.dataOp(WRITEBACK, UPDATE|MEMORY, n.id, ovLine, data, trace))
+		n.issueCol(n.dataOp(WRITEBACK, UPDATE|MEMORY, n.id, ovLine, data, trace))
 	} else {
-		n.issueRow(n.sys.dataOp(WRITEBACK, UPDATE, n.id, ovLine, data, trace))
+		n.issueRow(n.dataOp(WRITEBACK, UPDATE, n.id, ovLine, data, trace))
 	}
 	e.State = Shared // "mark overflow line shared"
 }

@@ -116,7 +116,7 @@ func (n *Node) colReplyFail(op *Op) {
 //multicube:fpexempt dispatched under snoopRow/snoopCol, which bump
 func (n *Node) failPending(op *Op) {
 	if !n.matchesPending(op) {
-		n.sys.strays++
+		n.shard.strays++
 		return
 	}
 	res := Result{}
@@ -176,7 +176,7 @@ func (n *Node) rowXfer(op *Op) {
 		return
 	}
 	if n.id.Col == op.Target.Col {
-		fwd := n.sys.dataOp(SYNC, XFER, op.Origin, op.Line, op.Data, op.trace)
+		fwd := n.dataOp(SYNC, XFER, op.Origin, op.Line, op.Data, op.trace)
 		fwd.Target = op.Target
 		n.issueColAfter(n.sys.cfg.Timing.ForwardLatency, fwd)
 	}
@@ -252,12 +252,12 @@ func (n *Node) SyncAcquire(line cache.Line, done func(Result)) {
 	v := n.l2.SelectVictim(line)
 	if v != nil && v.State == Modified {
 		victim := v.Line
-		wbTrace := &TxnTrace{Txn: WRITEBACK, Line: victim, Started: n.sys.k.Now()}
+		wbTrace := &TxnTrace{Txn: WRITEBACK, Line: victim, Started: n.k.Now()}
 		//multicube:fpexempt continuation of SyncAcquire, which bumped at entry
 		n.startWriteback(victim, wbTrace, func() {
 			n.l2.Invalidate(victim)
 			n.notifyInvalidate(victim)
-			n.sys.recordCompletion(wbTrace)
+			n.recordCompletion(wbTrace)
 			issue()
 		})
 		return
@@ -288,7 +288,7 @@ func (n *Node) SyncRelease(line cache.Line) bool {
 	data[LinkWord] = 0 // the receiver keeps its own link word
 	n.l2.Invalidate(line)
 	n.notifyInvalidate(line)
-	op := n.sys.dataOp(SYNC, XFER, n.id, line, data, nil)
+	op := n.dataOp(SYNC, XFER, n.id, line, data, nil)
 	op.Target = next
 	if next.Col == n.id.Col {
 		n.issueCol(op)

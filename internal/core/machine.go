@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 
+	"multicube/internal/bus"
 	"multicube/internal/cache"
 	"multicube/internal/coherence"
 	"multicube/internal/memory"
@@ -53,35 +54,76 @@ type Config struct {
 	MLTAssoc   int
 	// Timing carries the bus and device latencies.
 	Timing coherence.Timing
+	// Arbitration selects the bus service discipline (FIFO default; see
+	// bus.Arbitration). The paper's model is FCFS; the alternatives
+	// exist for the service-discipline ablation.
+	Arbitration bus.Arbitration
 	// Snarf enables the retained-tag snarf optimization.
 	Snarf bool
+	// Parallel, when positive, runs the timed simulation on the
+	// conservative parallel engine with that many worker goroutines: the
+	// machine is partitioned by column (column bus + memory module +
+	// nodes per partition; row buses are the cross-partition seam), and
+	// execution proceeds in lookahead-bounded windows synchronized at
+	// deterministic boundaries. Results — final time, memory image,
+	// metrics — are identical to sequential mode. Zero (the default)
+	// keeps the classic single-threaded kernel, byte-identical to
+	// previous releases. Parallel mode is incompatible with choosers,
+	// model checking, fault injection, observers, OpLog and Spawn-based
+	// programs; Machine.Run rejects none of these itself, but the
+	// coherence hooks stay nil and Spawn panics.
+	Parallel int
 }
 
 // Machine is one simulated Wisconsin Multicube.
 type Machine struct {
-	k     *sim.Kernel
-	sys   *coherence.System
-	procs []*Processor
-	cfg   Config
+	k      *sim.Kernel
+	sys    *coherence.System
+	procs  []*Processor
+	cfg    Config
+	runner *sim.Runner // non-nil in parallel mode
 }
 
 // New builds a machine.
 func New(cfg Config) (*Machine, error) {
 	k := sim.NewKernel()
-	sys, err := coherence.NewSystem(k, coherence.Config{
-		N:          cfg.N,
-		BlockWords: cfg.BlockWords,
-		CacheLines: cfg.CacheLines,
-		CacheAssoc: cfg.CacheAssoc,
-		MLTEntries: cfg.MLTEntries,
-		MLTAssoc:   cfg.MLTAssoc,
-		Timing:     cfg.Timing,
-		Snarf:      cfg.Snarf,
-	})
+	ccfg := coherence.Config{
+		N:           cfg.N,
+		BlockWords:  cfg.BlockWords,
+		CacheLines:  cfg.CacheLines,
+		CacheAssoc:  cfg.CacheAssoc,
+		MLTEntries:  cfg.MLTEntries,
+		MLTAssoc:    cfg.MLTAssoc,
+		Timing:      cfg.Timing,
+		Arbitration: cfg.Arbitration,
+		Snarf:       cfg.Snarf,
+	}
+	var runner *sim.Runner
+	if cfg.Parallel > 0 {
+		timing := cfg.Timing
+		if timing == (coherence.Timing{}) {
+			timing = coherence.DefaultTiming()
+		}
+		if timing.AddrWords == 0 {
+			timing.AddrWords = 1
+		}
+		// The conservative lookahead: a row-bus request issued at t
+		// occupies the bus for at least one address cycle, so no other
+		// partition can observe it before t + AddrWords×WordTime.
+		lookahead := sim.Time(timing.AddrWords) * timing.WordTime
+		parts := make([]*sim.Kernel, cfg.N)
+		for i := range parts {
+			parts[i] = sim.NewKernel()
+		}
+		runner = sim.NewRunner(k, parts, lookahead, cfg.Parallel)
+		ccfg.ColKernels = parts
+		ccfg.Par = runner
+	}
+	sys, err := coherence.NewSystem(k, ccfg)
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{k: k, sys: sys, cfg: cfg}
+	m := &Machine{k: k, sys: sys, cfg: cfg, runner: runner}
 	m.cfg.BlockWords = sys.Config().BlockWords
 	n := cfg.N
 	m.procs = make([]*Processor, n*n)
@@ -138,11 +180,59 @@ func (m *Machine) LineOf(addr Addr) (cache.Line, int) {
 }
 
 // Run drains the machine: all spawned programs and outstanding requests
-// complete. It returns the final simulated time.
-func (m *Machine) Run() sim.Time { return m.k.Run() }
+// complete. It returns the final simulated time. In parallel mode this
+// is RunCtx with no cancellation.
+func (m *Machine) Run() sim.Time { return m.RunStop(nil) }
 
-// RunFor advances simulated time by d.
-func (m *Machine) RunFor(d sim.Time) { m.k.RunFor(d) }
+// RunStop is Run with a cooperative stop check, polled between kernel
+// batches (sequential) or synchronization phases (parallel).
+func (m *Machine) RunStop(stop func() bool) sim.Time {
+	if m.runner != nil {
+		return m.runner.Run(stop)
+	}
+	for {
+		if stop != nil && stop() {
+			return m.k.Now()
+		}
+		for i := 0; i < 4096; i++ {
+			if !m.k.Step() {
+				return m.k.Now()
+			}
+		}
+	}
+}
+
+// Runner exposes the parallel runner, or nil in sequential mode.
+func (m *Machine) Runner() *sim.Runner { return m.runner }
+
+// Parallel reports whether the machine runs on the parallel engine.
+func (m *Machine) Parallel() bool { return m.runner != nil }
+
+// ProcKernel returns the kernel processor id's workload driver must
+// schedule on: the processor's column-partition kernel in parallel
+// mode, else the machine kernel.
+func (m *Machine) ProcKernel(id int) *sim.Kernel {
+	if m.runner == nil {
+		return m.k
+	}
+	return m.runner.Part(m.procs[id].Coord().Col)
+}
+
+// Executed reports total events dispatched across all kernels.
+func (m *Machine) Executed() uint64 {
+	if m.runner != nil {
+		return m.runner.Executed()
+	}
+	return m.k.Executed()
+}
+
+// RunFor advances simulated time by d (sequential mode only).
+func (m *Machine) RunFor(d sim.Time) {
+	if m.runner != nil {
+		panic("core: RunFor is not supported in parallel mode")
+	}
+	m.k.RunFor(d)
+}
 
 // SeedMemory writes words directly into main memory before (or between)
 // runs, bypassing the protocol — the moral equivalent of loading an

@@ -119,9 +119,12 @@ func FalseSharing(iterations int) *stats.Table {
 	return t
 }
 
-// Arbitration compares FIFO and round-robin bus arbitration under a
-// saturating workload (Section 5's "methods for reducing bus latency"
-// design-issue list includes the bus controllers).
+// Arbitration compares FIFO, round-robin and fixed-priority bus
+// arbitration under a saturating workload (Section 5's "methods for
+// reducing bus latency" design-issue list includes the bus controllers).
+// This is the coherence-layer view; ArbitrationMachine (parallel.go)
+// runs the same ablation at machine level on the paper's 8×8
+// configuration, selectable from multicube-sim with -arb.
 func Arbitration(requests int) *stats.Table {
 	if requests == 0 {
 		requests = 150
@@ -135,13 +138,12 @@ func Arbitration(requests int) *stats.Table {
 	}{
 		{"FIFO", bus.FIFO},
 		{"round-robin", bus.RoundRobin},
+		{"priority", bus.Priority},
 	} {
 		k := sim.NewKernel()
 		sys := coherence.MustNewSystem(k, coherence.Config{
 			N: 4, BlockWords: 16, Arbitration: cfg.arb,
 		})
-		// core.Config has no arbitration knob on purpose (FIFO is the
-		// paper's model); measure at the coherence layer instead.
 		rep := driveSystem(k, sys, requests)
 		t.AddRow(cfg.name, rep.eff, rep.rowUtil, rep.maxQueued)
 	}

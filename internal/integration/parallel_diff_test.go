@@ -1,0 +1,156 @@
+package integration
+
+import (
+	"fmt"
+	"testing"
+
+	"multicube/internal/bus"
+	"multicube/internal/core"
+	"multicube/internal/sim"
+	"multicube/internal/workload"
+)
+
+// Differential testing of the conservative parallel engine: the same
+// seeded generator workload runs on the sequential kernel and on the
+// column-partitioned parallel runner at several worker counts, and every
+// observable result — final simulated time, the full coherent memory
+// image, the rendered machine metrics (bus ops, utilizations, per-type
+// transaction stats), the workload report, and the total event count —
+// must be byte-identical. Run under -race (the CI job does) this also
+// proves the partition ownership discipline: any touch of shared state
+// outside the runner's synchronization points is a data race.
+
+// pdResult captures everything a run may legally be judged by.
+type pdResult struct {
+	final    sim.Time
+	metrics  string
+	report   workload.Report
+	image    string
+	executed uint64
+}
+
+// pdRun executes one configuration. fanout pins the runner's dispatch
+// path — true exercises the worker pool and its channel discipline
+// (which is what -race judges), false the coordinator-inline path — so
+// coverage does not depend on the host's core count. Ignored for
+// sequential runs (parallel == 0).
+func pdRun(t *testing.T, n, parallel int, fanout bool, cfg core.Config, wl workload.GenConfig) pdResult {
+	t.Helper()
+	cfg.N = n
+	cfg.Parallel = parallel
+	m := core.MustNew(cfg)
+	if parallel > 0 {
+		m.Runner().SetFanout(fanout)
+	}
+	rep := workload.Run(m, wl)
+	for _, err := range m.CheckInvariants() {
+		t.Errorf("n=%d parallel=%d invariant: %v", n, parallel, err)
+	}
+	// Image over every address the generator can touch: all private
+	// regions plus the shared hot set.
+	wl2 := wl
+	bw := core.Addr(m.BlockWords())
+	priv := core.Addr(wl2.PrivateLines)
+	if priv == 0 {
+		priv = 16
+	}
+	shared := core.Addr(wl2.SharedLines)
+	if shared == 0 {
+		shared = 64
+	}
+	top := (core.Addr(m.Processors())*priv + shared) * bw
+	var img []byte
+	for a := core.Addr(0); a < top; a++ {
+		img = append(img, []byte(fmt.Sprintf("%d:%d\n", a, m.ReadCoherent(a)))...)
+	}
+	return pdResult{
+		final:    m.Kernel().Now(),
+		metrics:  m.Metrics().String(),
+		report:   rep,
+		image:    string(img),
+		executed: m.Executed(),
+	}
+}
+
+func pdCompare(t *testing.T, label string, seq, par pdResult) {
+	t.Helper()
+	if par.final != seq.final {
+		t.Errorf("%s: final time %v, sequential %v", label, par.final, seq.final)
+	}
+	if par.metrics != seq.metrics {
+		t.Errorf("%s: metrics diverged from sequential:\n--- sequential ---\n%s--- parallel ---\n%s",
+			label, seq.metrics, par.metrics)
+	}
+	if par.report != seq.report {
+		t.Errorf("%s: workload report %+v, sequential %+v", label, par.report, seq.report)
+	}
+	if par.image != seq.image {
+		t.Errorf("%s: coherent memory image diverged from sequential", label)
+	}
+	if par.executed != seq.executed {
+		t.Errorf("%s: executed %d events, sequential %d", label, par.executed, seq.executed)
+	}
+}
+
+func TestParallelMatchesSequentialSweep(t *testing.T) {
+	grids := []int{2, 3, 4}
+	seeds := []uint64{1, 7, 42}
+	workers := []int{1, 2, 4}
+	if testing.Short() {
+		grids, seeds, workers = grids[:2], seeds[:2], []int{2}
+	}
+	for _, n := range grids {
+		for _, seed := range seeds {
+			wl := workload.GenConfig{Seed: seed, Requests: 120, PShared: 0.4}
+			seq := pdRun(t, n, 0, false, core.Config{}, wl)
+			for _, w := range workers {
+				for _, fanout := range []bool{true, false} {
+					mode := "inline"
+					if fanout {
+						mode = "fanout"
+					}
+					t.Run(fmt.Sprintf("n%d/seed%d/workers%d/%s", n, seed, w, mode), func(t *testing.T) {
+						pdCompare(t, fmt.Sprintf("n=%d seed=%d workers=%d %s", n, seed, w, mode),
+							seq, pdRun(t, n, w, fanout, core.Config{}, wl))
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSequentialVariants covers the configuration axes
+// the sweep above holds fixed: snarf, bounded caches and tables (which
+// disable the guaranteed-hit lookahead analysis), exponential think
+// times, write-heavy sharing, and an L1 in front of the snooper.
+func TestParallelMatchesSequentialVariants(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  core.Config
+		wl   workload.GenConfig
+	}{
+		{"snarf", core.Config{Snarf: true},
+			workload.GenConfig{Seed: 3, Requests: 150, PShared: 0.5}},
+		{"bounded", core.Config{CacheLines: 64, CacheAssoc: 2, MLTEntries: 8, MLTAssoc: 2},
+			workload.GenConfig{Seed: 9, Requests: 150, PShared: 0.4}},
+		{"exponential", core.Config{},
+			workload.GenConfig{Seed: 11, Requests: 150, Exponential: true, PShared: 0.6, PWrite: 0.5}},
+		{"writeheavy", core.Config{},
+			workload.GenConfig{Seed: 13, Requests: 150, PShared: 0.8, PWrite: 0.7, SharedLines: 4}},
+		{"l1", core.Config{L1Lines: 8, L1Assoc: 2},
+			workload.GenConfig{Seed: 17, Requests: 150, PShared: 0.4}},
+		{"priority", core.Config{Arbitration: bus.Priority},
+			workload.GenConfig{Seed: 19, Requests: 150, PShared: 0.5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := pdRun(t, 3, 0, false, tc.cfg, tc.wl)
+			for _, w := range []int{1, 3} {
+				pdCompare(t, fmt.Sprintf("%s workers=%d fanout", tc.name, w),
+					seq, pdRun(t, 3, w, true, tc.cfg, tc.wl))
+				pdCompare(t, fmt.Sprintf("%s workers=%d inline", tc.name, w),
+					seq, pdRun(t, 3, w, false, tc.cfg, tc.wl))
+			}
+		})
+	}
+}

@@ -1,0 +1,514 @@
+// Conservative parallel execution of a partitioned machine.
+//
+// The Runner drives one global Kernel plus one Kernel per partition. The
+// machine model decides the partitioning (core partitions a Multicube by
+// column: each partition owns its column bus, memory module and nodes,
+// and the row buses live on the global kernel). Execution alternates
+// between two phases:
+//
+//   - Parallel windows. The runner computes a window limit W such that
+//     no event outside a partition can affect it before W, then lets
+//     every partition dispatch its own events with timestamps < W
+//     concurrently, one partition per worker. Cross-partition sends
+//     (row-bus requests) occurring inside a window are deferred into a
+//     per-partition outbox instead of touching shared state.
+//
+//   - Boundaries. With all workers parked, the runner drains the
+//     outboxes and executes everything scheduled at the earliest
+//     remaining instant T — global events, partition events and deferred
+//     sends — on the coordinator goroutine, in a deterministic merge
+//     order that reproduces the sequential kernel's scheduling order
+//     exactly (see cand and cmpLin).
+//
+// W is sound because of the hereditary bound invariant documented on
+// AtBounded: a partition's MinBound is a lower bound on the earliest
+// cross-partition send in the causal future of its pending events, and a
+// send at time t cannot be observed by another partition before t +
+// lookahead (the minimum bus occupancy before any delivery). Global
+// events and pending sends cap W directly since they may touch any
+// partition when executed.
+//
+// Determinism does not rely on goroutine scheduling: window execution is
+// per-partition sequential over disjoint state, and every cross-partition
+// ordering decision is taken by the coordinator from birth stamps and
+// scheduler lineages that are themselves deterministic. In the
+// sequential kernel, same-instant events dispatch in global sequence
+// order, which is lexicographic (scheduling instant, scheduler's own
+// dispatch position, slot within the scheduler's body); lineage chains
+// record exactly that recursion, grounded at setup order, so the merge
+// reproduces sequential order without a shared counter. The nolockstep
+// vet pass enforces that the concurrency primitives below stay confined
+// to the annotated sync-point functions.
+//
+//multicube:parallel-runtime worker fan-out is re-merged deterministically
+package sim
+
+import (
+	"runtime"
+	"sort"
+)
+
+// Send is a deferred cross-partition action: a closure captured inside a
+// parallel window that must execute at boundary time in merge order.
+type Send struct {
+	// At is the simulated time the send was issued (the issuing event's
+	// time); the action executes at a boundary at exactly this instant.
+	At Time
+	// parent is the lineage of the issuing event, whose position in
+	// sequential scheduling order the send inherits: sequentially the
+	// action would have run inline inside that event. idx is the
+	// composite scheduling slot Defer reserved in the parent's body; the
+	// resumed action's children slot under it (idx | sub), landing
+	// exactly where inline execution would have scheduled them.
+	parent *lineage
+	idx    uint64
+	Fn     func()
+}
+
+// Runner coordinates a global kernel and per-partition kernels.
+type Runner struct {
+	global    *Kernel
+	parts     []*Kernel
+	lookahead Time
+	workers   int
+
+	// clock is the shared birth stamp source used whenever the
+	// coordinator executes events (boundaries, setup); during windows
+	// each partition stamps from its own clock.
+	clock      birthClock
+	partClocks []birthClock
+
+	// inGlobal is true whenever the coordinator (or setup code) is
+	// executing and false only while workers own the partitions. Routing
+	// code (coherence issueRow) reads it to decide direct-vs-deferred.
+	// It is written strictly before jobs are handed to workers and after
+	// all workers park, so the channel operations order every access.
+	inGlobal bool
+
+	outboxes [][]Send
+	sends    []Send // drained, sorted, pending cross-partition actions
+
+	jobs chan winJob
+	done chan struct{}
+
+	// fanout selects whether windows are dispatched to the worker pool.
+	// It defaults to GOMAXPROCS > 1: on a single-CPU host goroutines
+	// cannot overlap, so the channel handoffs would be pure overhead and
+	// every window runs inline on the coordinator instead. Results are
+	// identical either way — the differential tests force both paths.
+	fanout bool
+
+	// active is per-window scratch: the partitions with work below the
+	// limit and their pre-window dispatch counts (for the critical-path
+	// accounting in RunnerStats).
+	active []winJob
+	before []uint64
+
+	stats RunnerStats
+}
+
+// RunnerStats counts the runner's phases, for tuning and tests.
+type RunnerStats struct {
+	// Windows is the number of parallel windows executed; Jobs the
+	// total partition jobs run across them (solo windows and the
+	// coordinator's own job included).
+	Windows uint64
+	Jobs    uint64
+	// Boundaries is the number of coordinator merge phases; Bsteps the
+	// events and sends dispatched inside them.
+	Boundaries uint64
+	Bsteps     uint64
+	// WinSteps is the total events dispatched inside windows; CritSteps
+	// sums each window's largest single-partition share. Bsteps plus
+	// CritSteps is the engine's critical path: with enough cores, wall
+	// time scales with it rather than with WinSteps+Bsteps, so
+	// (WinSteps+Bsteps)/(CritSteps+Bsteps) is the speedup available to
+	// a machine with as many cores as partitions.
+	WinSteps  uint64
+	CritSteps uint64
+}
+
+// Parallelism reports the available speedup implied by the counters:
+// total dispatched work over the critical path (the serial boundary
+// steps plus each window's largest partition share). This is what wall
+// clock converges to on a host with at least as many cores as busy
+// partitions; on fewer cores the wall-clock speedup is capped by the
+// core count.
+func (s RunnerStats) Parallelism() float64 {
+	crit := s.CritSteps + s.Bsteps
+	if crit == 0 {
+		return 1
+	}
+	return float64(s.WinSteps+s.Bsteps) / float64(crit)
+}
+
+type winJob struct {
+	part  int
+	limit Time
+}
+
+// NewRunner wires a runner over the given kernels. lookahead is the
+// minimum simulated delay between a cross-partition send and its
+// earliest visible effect (for the Multicube: the address-cycle bus
+// occupancy, since a row-bus request cannot deliver sooner). workers is
+// clamped to the partition count.
+func NewRunner(global *Kernel, parts []*Kernel, lookahead Time, workers int) *Runner {
+	if lookahead == 0 {
+		panic("sim: parallel runner needs nonzero lookahead")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	r := &Runner{
+		global:     global,
+		parts:      parts,
+		lookahead:  lookahead,
+		workers:    workers,
+		partClocks: make([]birthClock, len(parts)),
+		outboxes:   make([][]Send, len(parts)),
+		inGlobal:   true,
+		fanout:     runtime.GOMAXPROCS(0) > 1,
+	}
+	global.stamper = &r.clock
+	for _, p := range parts {
+		p.stamper = &r.clock
+	}
+	return r
+}
+
+// Global returns the kernel owning cross-partition (row bus) events.
+func (r *Runner) Global() *Kernel { return r.global }
+
+// Part returns partition i's kernel.
+func (r *Runner) Part(i int) *Kernel { return r.parts[i] }
+
+// Parts returns the partition count.
+func (r *Runner) Parts() int { return len(r.parts) }
+
+// Workers returns the effective worker count.
+func (r *Runner) Workers() int { return r.workers }
+
+// Stats returns phase counters accumulated by Run.
+func (r *Runner) Stats() RunnerStats { return r.stats }
+
+// SetFanout overrides the worker-pool dispatch decision (see the fanout
+// field). Call it before Run; the differential tests use it to exercise
+// the fan-out path under the race detector on single-CPU hosts.
+func (r *Runner) SetFanout(on bool) { r.fanout = on }
+
+// Fanout reports whether windows are dispatched to the worker pool.
+func (r *Runner) Fanout() bool { return r.fanout }
+
+// InGlobal reports whether execution is currently in a coordinator phase
+// (boundary or setup), where cross-partition actions may run directly.
+// During parallel windows it reports false and such actions must be
+// deferred through Defer.
+func (r *Runner) InGlobal() bool { return r.inGlobal }
+
+// Defer buffers a cross-partition action issued by the event currently
+// executing on partition part. It may only be called from that
+// partition's window execution (the outbox is single-writer). The call
+// consumes one scheduling slot in the issuing event's body, so the
+// deferred action keeps its inline position relative to the event's
+// other children.
+func (r *Runner) Defer(part int, fn func()) {
+	c := r.parts[part].stamper
+	b, parent := c.stamp()
+	r.outboxes[part] = append(r.outboxes[part], Send{
+		At:     c.at,
+		parent: parent,
+		idx:    b.Idx,
+		Fn:     fn,
+	})
+}
+
+// cand is a merge candidate at a boundary: a pending kernel event keyed
+// by its own (birth time, scheduler lineage, birth slot), or a deferred
+// send keyed by its issuing parent's position (the send executes where
+// its parent's body ran sequentially), with the reserved slot breaking
+// ties among sends of one parent. The triple equals the sequential
+// kernel's global sequence order (see cmpLin); a send and an event can
+// never tie on all three, since that would make the event its own
+// already-dispatched parent.
+type cand struct {
+	at   Time
+	par  *lineage
+	idx  uint64
+	send uint64 // 1 + reserved slot for sends; 0 for kernel events
+}
+
+func candLess(a, b cand) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if c := cmpLin(a.par, b.par); c != 0 {
+		return c < 0
+	}
+	if a.idx != b.idx {
+		return a.idx < b.idx
+	}
+	return a.send < b.send
+}
+
+// sendCand keys a deferred send for the merge.
+func sendCand(s *Send) cand {
+	return cand{at: s.parent.bAt, par: s.parent.parent, idx: s.parent.idx, send: 1 + s.idx}
+}
+
+// drain moves every outbox entry into the pending send list, keeping it
+// sorted by (At, parent position, reserved slot).
+func (r *Runner) drain() {
+	moved := false
+	for p := range r.outboxes {
+		if len(r.outboxes[p]) > 0 {
+			r.sends = append(r.sends, r.outboxes[p]...)
+			r.outboxes[p] = r.outboxes[p][:0]
+			moved = true
+		}
+	}
+	if !moved {
+		return
+	}
+	sort.Slice(r.sends, func(i, j int) bool {
+		a, b := &r.sends[i], &r.sends[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return candLess(sendCand(a), sendCand(b))
+	})
+}
+
+// nextInstant reports the earliest pending timestamp across all sources.
+func (r *Runner) nextInstant() (Time, bool) {
+	t, any := Never, false
+	if gt, ok := r.global.NextAt(); ok {
+		t, any = gt, true
+	}
+	if len(r.sends) > 0 && r.sends[0].At < t {
+		t, any = r.sends[0].At, true
+	}
+	for _, p := range r.parts {
+		if pt, ok := p.NextAt(); ok && pt < t {
+			t, any = pt, true
+		}
+	}
+	return t, any
+}
+
+// windowLimit computes W: partitions may run events strictly below W in
+// parallel. Capped by the earliest global event or pending send (either
+// may touch any partition when executed) and by every partition's
+// MinBound plus the lookahead (the earliest instant a not-yet-executed
+// cross-partition send could become visible). t is the earliest pending
+// instant (from nextInstant): when the global/send cap already equals t
+// the phase is a boundary no matter what the partitions hold — every
+// pending bound is ≥ t, so it cannot pull W below t+lookahead — and the
+// per-partition scans are skipped, which matters in send-heavy runs.
+func (r *Runner) windowLimit(t Time) Time {
+	w := Never
+	if gt, ok := r.global.NextAt(); ok {
+		w = gt
+	}
+	if len(r.sends) > 0 && r.sends[0].At < w {
+		w = r.sends[0].At
+	}
+	if w == t {
+		return w
+	}
+	for _, p := range r.parts {
+		if b := p.MinBound(); b != Never && b+r.lookahead < w {
+			w = b + r.lookahead
+		}
+	}
+	return w
+}
+
+// boundary executes every piece of work scheduled at exactly T, merging
+// global events, partition events and drained sends deterministically.
+// New work landing at T during execution (e.g. an idle bus granting and
+// a zero-latency forward) joins the merge.
+func (r *Runner) boundary(t Time) {
+	r.global.AdvanceTo(t)
+	for _, p := range r.parts {
+		p.AdvanceTo(t)
+	}
+	for {
+		const (
+			srcNone = iota
+			srcGlobal
+			srcPart
+			srcSend
+		)
+		src, bestPart := srcNone, 0
+		var best cand
+		if at, ok := r.global.NextAt(); ok && at == t {
+			b, par := r.global.PeekKey()
+			best, src = cand{at: b.At, par: par, idx: b.Idx}, srcGlobal
+		}
+		for i, p := range r.parts {
+			if at, ok := p.NextAt(); ok && at == t {
+				b, par := p.PeekKey()
+				c := cand{at: b.At, par: par, idx: b.Idx}
+				if src == srcNone || candLess(c, best) {
+					best, src, bestPart = c, srcPart, i
+				}
+			}
+		}
+		if len(r.sends) > 0 && r.sends[0].At == t {
+			if c := sendCand(&r.sends[0]); src == srcNone || candLess(c, best) {
+				best, src = c, srcSend
+			}
+		}
+		switch src {
+		case srcNone:
+			return
+		case srcSend:
+			r.stats.Bsteps++
+			s := r.sends[0]
+			r.sends = r.sends[1:]
+			// Resume the issuing event's context: children scheduled by
+			// the send slot under its parent at the reserved index,
+			// exactly as if the action had run inline inside that event.
+			r.clock.beginResume(t, s.parent, s.idx)
+			s.Fn()
+			r.clock.endResume()
+		case srcGlobal:
+			r.stats.Bsteps++
+			r.global.StepAt(t)
+		default:
+			r.stats.Bsteps++
+			r.parts[bestPart].StepAt(t)
+		}
+	}
+}
+
+// runWindow runs every partition with work below limit and parks until
+// all are done. Windows are often tiny (a few dozen events across one
+// or two partitions), so the handoff is tuned to keep the coordinator
+// off the scheduler where it can: a window with a single busy partition
+// runs inline on the coordinator with no channel traffic at all, and in
+// a multi-partition window the coordinator executes the first job
+// itself while the workers take the rest. The jobs channel handoff
+// publishes all coordinator writes to the worker; the done channel
+// handoff publishes the partition's window execution back.
+//
+//multicube:syncpoint window fan-out/fan-in barrier
+func (r *Runner) runWindow(limit Time) {
+	r.inGlobal = false
+	for i, p := range r.parts {
+		p.stamper = &r.partClocks[i]
+	}
+	r.active = r.active[:0]
+	for i, p := range r.parts {
+		if at, ok := p.NextAt(); ok && at < limit {
+			r.active = append(r.active, winJob{part: i, limit: limit})
+			r.before = append(r.before, p.Executed())
+		}
+	}
+	r.stats.Windows++
+	r.stats.Jobs += uint64(len(r.active))
+	if n := len(r.active); n > 0 {
+		if r.fanout && n > 1 {
+			for _, j := range r.active[1:] {
+				r.jobs <- j
+			}
+			r.parts[r.active[0].part].RunWindow(limit)
+			for ; n > 1; n-- {
+				<-r.done
+			}
+		} else {
+			for _, j := range r.active {
+				r.parts[j.part].RunWindow(limit)
+			}
+		}
+	}
+	var sum, max uint64
+	for i, j := range r.active {
+		d := r.parts[j.part].Executed() - r.before[i]
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	r.before = r.before[:0]
+	r.stats.WinSteps += sum
+	r.stats.CritSteps += max
+	for _, p := range r.parts {
+		p.stamper = &r.clock
+	}
+	r.inGlobal = true
+}
+
+// worker executes window jobs until the jobs channel closes. Each job is
+// the only live reference to its partition's state, so execution is
+// data-race-free by ownership transfer, not by locking.
+//
+//multicube:syncpoint partition ownership transferred via channels
+func (r *Runner) worker() {
+	for j := range r.jobs {
+		r.parts[j.part].RunWindow(j.limit)
+		r.done <- struct{}{}
+	}
+}
+
+// Run executes the partitioned machine to completion (or until stop
+// returns true, checked between phases) and returns the final simulated
+// time, advancing every kernel's clock to it. Results are identical to
+// sequential execution of the same machine on one kernel — the
+// differential tests in internal/integration compare the two modes
+// byte for byte.
+//
+//multicube:syncpoint owns the worker pool lifecycle
+func (r *Runner) Run(stop func() bool) Time {
+	if r.fanout {
+		r.jobs = make(chan winJob, len(r.parts))
+		r.done = make(chan struct{}, len(r.parts))
+		for i := 0; i < r.workers; i++ {
+			//multicube:chooser-ok worker pool; partitions are re-merged deterministically at boundaries
+			go r.worker()
+		}
+	}
+	for {
+		if stop != nil && stop() {
+			break
+		}
+		r.drain()
+		t, any := r.nextInstant()
+		if !any {
+			break
+		}
+		if w := r.windowLimit(t); w > t {
+			r.runWindow(w)
+			continue
+		}
+		r.stats.Boundaries++
+		r.boundary(t)
+	}
+	if r.jobs != nil {
+		close(r.jobs)
+		r.jobs = nil
+	}
+	final := r.global.Now()
+	for _, p := range r.parts {
+		if p.Now() > final {
+			final = p.Now()
+		}
+	}
+	r.global.AdvanceTo(final)
+	for _, p := range r.parts {
+		p.AdvanceTo(final)
+	}
+	return final
+}
+
+// Executed sums dispatched events across all kernels.
+func (r *Runner) Executed() uint64 {
+	n := r.global.Executed()
+	for _, p := range r.parts {
+		n += p.Executed()
+	}
+	return n
+}

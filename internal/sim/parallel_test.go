@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// The toy model exercised here mirrors the shape of the Multicube
+// partitioning without the coherence machinery: each partition runs a
+// chain of local events, every third chain event performs a
+// cross-partition send, and a send delivers to the next partition after
+// a fixed latency L. The sequential reference executes the identical
+// model on one kernel with sends inlined; parallel execution must
+// reproduce its logs and final time exactly.
+
+const toyLookahead Time = 50
+
+type toyRecord struct {
+	At   Time
+	Src  int // -1 for a local chain event
+	Step int
+}
+
+type toyPart struct {
+	id    int
+	k     *Kernel
+	log   []toyRecord
+	rng   uint64
+	sched func(src, dst int, sendAt Time) // cross-partition send routing
+}
+
+func (p *toyPart) next() Time { // deterministic per-partition stride
+	p.rng = p.rng*6364136223846793005 + 1442695040888963407
+	return Time(61 + (p.rng>>33)%97)
+}
+
+// chain schedules step i of partition p's chain at t. Steps with
+// i%3 == 2 send. Chain strides are drawn inside events, so the time of
+// the next sending step is unknown at scheduling time and the
+// conservative hereditary bound is the event's own time — except for a
+// send-free chain tail, which may promise Never.
+func (p *toyPart) chain(t Time, i, steps int) {
+	if i >= steps {
+		return
+	}
+	bound := t
+	if lastSend := ((steps - 1) / 3) * 3; i > lastSend+2 {
+		bound = Never // no sending step remains in this chain
+	}
+	p.k.AtBounded(t, bound, nil, func() {
+		p.log = append(p.log, toyRecord{At: t, Src: -1, Step: i})
+		if i%3 == 2 {
+			p.sched(p.id, (p.id+1)%4, t)
+		}
+		p.chain(t+p.next(), i+1, steps)
+	})
+}
+
+func runToy(t *testing.T, steps, workers int) ([][]toyRecord, Time) {
+	t.Helper()
+	global := NewKernel()
+	kernels := make([]*Kernel, 4)
+	parts := make([]*toyPart, 4)
+	for i := range kernels {
+		kernels[i] = NewKernel()
+	}
+	r := NewRunner(global, kernels, toyLookahead, workers)
+	for i := range parts {
+		p := &toyPart{id: i, k: kernels[i], rng: uint64(i + 1)}
+		p.sched = func(src, dst int, sendAt Time) {
+			deliver := func() {
+				at := sendAt + toyLookahead
+				kernels[dst].AtBounded(at, Never, nil, func() {
+					parts[dst].log = append(parts[dst].log, toyRecord{At: at, Src: src})
+				})
+			}
+			if r.InGlobal() {
+				deliver()
+			} else {
+				r.Defer(src, deliver)
+			}
+		}
+		parts[i] = p
+		p.chain(Time(100+i*7), 0, steps)
+	}
+	final := r.Run(nil)
+	logs := make([][]toyRecord, 4)
+	for i, p := range parts {
+		logs[i] = p.log
+	}
+	return logs, final
+}
+
+func runToySequential(steps int) ([][]toyRecord, Time) {
+	k := NewKernel()
+	parts := make([]*toyPart, 4)
+	for i := range parts {
+		p := &toyPart{id: i, k: k, rng: uint64(i + 1)}
+		p.sched = func(src, dst int, sendAt Time) {
+			at := sendAt + toyLookahead
+			k.At(at, func() {
+				parts[dst].log = append(parts[dst].log, toyRecord{At: at, Src: src})
+			})
+		}
+		parts[i] = p
+		p.chain(Time(100+i*7), 0, steps)
+	}
+	final := k.Run()
+	logs := make([][]toyRecord, 4)
+	for i, p := range parts {
+		logs[i] = p.log
+	}
+	return logs, final
+}
+
+func TestRunnerMatchesSequentialToyModel(t *testing.T) {
+	const steps = 400
+	wantLogs, wantFinal := runToySequential(steps)
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			logs, final := runToy(t, steps, workers)
+			if final != wantFinal {
+				t.Fatalf("final time %v, sequential %v", final, wantFinal)
+			}
+			for i := range logs {
+				if !reflect.DeepEqual(logs[i], wantLogs[i]) {
+					t.Fatalf("partition %d log diverged from sequential:\npar: %v\nseq: %v",
+						i, trunc(logs[i]), trunc(wantLogs[i]))
+				}
+			}
+		})
+	}
+}
+
+func trunc(r []toyRecord) []toyRecord {
+	if len(r) > 12 {
+		return r[:12]
+	}
+	return r
+}
+
+func TestRunnerExecutedMatchesSequential(t *testing.T) {
+	const steps = 100
+	_, _ = runToySequential(steps)
+	seqK := NewKernel()
+	_ = seqK
+	logs, _ := runToy(t, steps, 2)
+	var events int
+	for _, l := range logs {
+		events += len(l)
+	}
+	// 4 partitions × steps chain events + one delivery per send.
+	sendsPerChain := 0
+	for i := 0; i < steps; i++ {
+		if i%3 == 2 {
+			sendsPerChain++
+		}
+	}
+	want := 4*steps + 4*sendsPerChain
+	if events != want {
+		t.Fatalf("logged %d records, want %d", events, want)
+	}
+}
+
+func TestAtBoundedRejectsBoundBeforeTime(t *testing.T) {
+	k := NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bound < t")
+		}
+	}()
+	k.AtBounded(100, 50, nil, func() {})
+}
+
+func TestAdvanceToRefusesToSkipEvents(t *testing.T) {
+	k := NewKernel()
+	k.At(10, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic advancing past a pending event")
+		}
+	}()
+	k.AdvanceTo(20)
+}
