@@ -9,8 +9,14 @@
 //	multicube-mc -preset readmod-race [-budget 200000] [-depth-step 0]
 //	             [-workers 1] [-inject] [-no-por] [-no-sleep]
 //	             [-no-minimize] [-quiet] [-json] [-checkfp]
+//	             [-store dir] [-mem-budget bytes] [-checkpoint dir]
+//	             [-checkpoint-every n] [-resume] [-dist-parts n]
 //	             [-cpuprofile f] [-memprofile f]
 //	multicube-mc -list
+//
+// -store/-mem-budget bound the visited table's RAM and spill cold shards
+// to disk; -checkpoint/-resume make a killed run resumable with a
+// byte-identical verdict (see "Exploring beyond RAM" in the README).
 //
 // On a violation the exit status is 1 and the minimized counterexample
 // is printed as a choice sequence plus the annotated bus-operation
@@ -50,6 +56,12 @@ func run() int {
 	scNodes := flag.Int("sc-nodes", 0, "per-execution SC search node budget for CheckSC scenarios (0 = memmodel default)")
 	quiet := flag.Bool("quiet", false, "suppress the bus trace on violations")
 	checkFP := flag.Bool("checkfp", false, "cross-check the incremental fingerprint against a from-scratch recompute at every choice point (slow)")
+	storeDir := flag.String("store", "", "spill directory for the visited-state store (empty = memory-only)")
+	memBudget := flag.Int64("mem-budget", 0, "visited-store memory budget in bytes before spilling to -store (0 = unbounded)")
+	ckptDir := flag.String("checkpoint", "", "directory for periodic search checkpoints (requires -workers 1)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "executions between checkpoints (default 512)")
+	resume := flag.Bool("resume", false, "resume from the newest matching checkpoint in -checkpoint")
+	distParts := flag.Int("dist-parts", 0, "split the search across n fingerprint-range partitions with handoff (0 = off)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout instead of text")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -108,15 +120,21 @@ func run() int {
 	}
 	sc.InjectStaleReply = *inject
 	opts := mc.Options{
-		MaxStates:    *budget,
-		MaxDepth:     *depth,
-		DepthStep:    *depthStep,
-		Workers:      *workers,
-		DisablePOR:   *noPOR,
-		DisableSleep: *noSleep,
-		NoMinimize:   *noMin,
-		SCNodes:      *scNodes,
-		CheckFP:      *checkFP,
+		MaxStates:       *budget,
+		MaxDepth:        *depth,
+		DepthStep:       *depthStep,
+		Workers:         *workers,
+		DisablePOR:      *noPOR,
+		DisableSleep:    *noSleep,
+		NoMinimize:      *noMin,
+		SCNodes:         *scNodes,
+		CheckFP:         *checkFP,
+		StoreDir:        *storeDir,
+		MemBudget:       *memBudget,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Resume:          *resume,
+		DistParts:       *distParts,
 	}
 
 	start := time.Now()
@@ -130,8 +148,11 @@ func run() int {
 	if *jsonOut {
 		out := struct {
 			mc.Result
-			ElapsedMS int64 `json:"elapsed_ms"`
-		}{Result: res, ElapsedMS: elapsed.Milliseconds()}
+			ElapsedMS    int64   `json:"elapsed_ms"`
+			StatesPerSec float64 `json:"states_per_sec"`
+			PeakRSSBytes int64   `json:"peak_rss_bytes"`
+		}{Result: res, ElapsedMS: elapsed.Milliseconds(),
+			StatesPerSec: statesPerSec(res.States, elapsed), PeakRSSBytes: peakRSS()}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -145,8 +166,20 @@ func run() int {
 	}
 
 	fmt.Printf("scenario  %s\n", res.Scenario)
+	if res.Resumed {
+		fmt.Printf("resumed   true (continued from checkpoint)\n")
+	}
+	if res.ResumeNote != "" {
+		fmt.Printf("resumed   false: %s\n", res.ResumeNote)
+	}
 	fmt.Printf("states    %d distinct canonical states\n", res.States)
 	fmt.Printf("runs      %d executions (%d across deepening)\n", res.Runs, res.TotalRuns)
+	if res.Spills > 0 || res.DiskBytes > 0 {
+		fmt.Printf("store     %d spills, %d bytes on disk\n", res.Spills, res.DiskBytes)
+	}
+	if res.Handoffs > 0 {
+		fmt.Printf("handoffs  %d cross-partition transfers\n", res.Handoffs)
+	}
 	switch {
 	case res.Exhausted:
 		fmt.Printf("coverage  exhausted: every reachable interleaving within bounds\n")

@@ -17,6 +17,14 @@ func TestFixture(t *testing.T) {
 	analysistest.Golden(t, filepath.Join("testdata", "genfix"), findings, "genfix.go")
 }
 
+// TestStoreFixture pins the statespace idioms — a map-typed fpfield
+// guarded by a per-shard counter, builtin mutations, and the exempted
+// retire helper — including the suggested-fix insertions.
+func TestStoreFixture(t *testing.T) {
+	findings := analysistest.Run(t, filepath.Join("testdata", "storefix"), genbump.Analyzer)
+	analysistest.Golden(t, filepath.Join("testdata", "storefix"), findings, "storefix.go")
+}
+
 // stripBump removes one exact occurrence of needle from the named repo
 // file and returns an overlay mapping for it; the test fails if the
 // needle is not present (the anchor drifted).
@@ -100,6 +108,37 @@ func TestDetectsStrippedBumpBus(t *testing.T) {
 	}
 	for _, f := range got {
 		if !strings.Contains(f.Diag.Message, "fingerprint-visible") {
+			t.Errorf("unexpected message: %s", f.Diag.Message)
+		}
+	}
+}
+
+// TestDetectsStrippedBumpStatespace guards the visited store: the
+// hot-tier retirement in (*Store).spillShard must not lose its bump, or
+// the checkpoint dirtiness test (gen vs spilledGen) treats a spilled
+// shard as covering later mutations and writes an incomplete checkpoint.
+// spillShard's bump is the only one in its body, so stripping it cannot
+// be masked by another bump in the same function.
+func TestDetectsStrippedBumpStatespace(t *testing.T) {
+	modRoot := analysistest.ModuleRoot(t)
+
+	if got := runGenbump(t, modRoot, "./internal/statespace", nil); len(got) != 0 {
+		t.Fatalf("unmodified internal/statespace should be clean, got %d findings:\n%s", len(got), render(got))
+	}
+
+	overlay := stripBump(t, modRoot, "internal/statespace/statespace.go",
+		"\tsh.runs = append(sh.runs, r)\n\tsh.gen++\n\tsh.hot = make(map[uint64][]uint64)\n",
+		"\tsh.runs = append(sh.runs, r)\n\tsh.hot = make(map[uint64][]uint64)\n")
+	got := runGenbump(t, modRoot, "./internal/statespace", overlay)
+	if len(got) == 0 {
+		t.Fatal("genbump missed the stripped sh.gen++ in (*Store).spillShard")
+	}
+	for _, f := range got {
+		pos := f.Pkg.Fset.Position(f.Diag.Pos)
+		if filepath.Base(pos.Filename) != "statespace.go" {
+			t.Errorf("finding outside statespace.go: %s", f)
+		}
+		if !strings.Contains(f.Diag.Message, "without a generation bump") {
 			t.Errorf("unexpected message: %s", f.Diag.Message)
 		}
 	}

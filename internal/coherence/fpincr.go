@@ -72,9 +72,10 @@ type busQ struct {
 }
 
 // ExtraTagFunc lets the model-check driver describe its own kernel event
-// tags: row is the issuer's physical row (permuted during the combine)
-// and rest hashes the row-independent remainder.
-type ExtraTagFunc func(tag any) (row int, rest uint64, ok bool)
+// tags: row and col are the issuer's physical coordinates (permuted
+// during the combine) and rest hashes the placement-independent
+// remainder.
+type ExtraTagFunc func(tag any) (row, col int, rest uint64, ok bool)
 
 // FPCache incrementally fingerprints one System. It is not safe for
 // concurrent use; each explorer worker owns one (pooled across runs).
@@ -98,6 +99,12 @@ type FPCache struct {
 	// by one FPCache (e.g. the live one) are never mistaken for current
 	// by another (e.g. a cross-check's fresh cache) over the same ops.
 	cp uint64
+
+	// cIdent is the cached identity column permutation for FP; colIdent
+	// records whether the current FPRC call's cperm is the identity (the
+	// packed snarf fast path).
+	cIdent   []int
+	colIdent bool
 
 	recomputes uint64 // component hashes rebuilt because their gen moved
 	reused     uint64 // component hashes served from cache
@@ -238,9 +245,9 @@ func (f *FPCache) snapshotEvents(extra ExtraTagFunc) {
 		default:
 			e.kind = evOpaque
 			if extra != nil {
-				if row, rest, ok := extra(tag); ok {
+				if row, col, rest, ok := extra(tag); ok {
 					e.kind = evExtra
-					e.row, e.rest = row, rest
+					e.row, e.col, e.rest = row, col, rest
 				}
 			}
 		}
@@ -267,35 +274,63 @@ func (f *FPCache) busRef(b *bus.Bus) (uint64, int) {
 }
 
 // FP combines the cached component hashes under the row relabeling perm
-// (inv its inverse, both caller-owned and len n). BeginPoint must have
-// run at this choice point. The encoding is prefix-decodable given the
-// machine configuration — fixed-position component words, count-prefixed
-// variable sections — so it is injective on the same abstract content as
-// System.Fingerprint.
+// (inv its inverse, both caller-owned and len n) with columns kept in
+// physical order. BeginPoint must have run at this choice point.
 func (f *FPCache) FP(perm, inv []int) uint64 {
+	return f.FPRC(perm, inv, f.identCols(), f.identCols())
+}
+
+// identCols returns the cached identity column permutation.
+func (f *FPCache) identCols() []int {
+	if len(f.cIdent) != f.n {
+		f.cIdent = make([]int, f.n)
+		for i := range f.cIdent {
+			f.cIdent[i] = i
+		}
+	}
+	return f.cIdent
+}
+
+// FPRC combines the cached component hashes under the row relabeling
+// perm AND the column relabeling cperm (inv/cinv their inverses, all
+// caller-owned and len n). Column relabelings are sound only when cperm
+// fixes the home column of every line the run can touch — the caller
+// (internal/mc's shared permutation set) enforces that; this function
+// just applies whatever relabeling it is handed. The encoding is
+// prefix-decodable given the machine configuration — fixed-position
+// component words, count-prefixed variable sections — so it is
+// injective on the same abstract content as System.Fingerprint.
+func (f *FPCache) FPRC(perm, inv, cperm, cinv []int) uint64 {
 	n := f.n
+	f.colIdent = true
+	for i, v := range cperm {
+		if v != i {
+			f.colIdent = false
+			break
+		}
+	}
 	h := fnvOffset
 	for cr := 0; cr < n; cr++ {
 		r := inv[cr]
-		for c := 0; c < n; c++ {
-			h.u64(f.nodeH[r][c])
+		for cc := 0; cc < n; cc++ {
+			h.u64(f.nodeH[r][cinv[cc]])
 		}
 	}
-	for c := 0; c < n; c++ {
-		h.u64(f.memH[c])
+	for cc := 0; cc < n; cc++ {
+		h.u64(f.memH[cinv[cc]])
 	}
 	for cr := 0; cr < n; cr++ {
-		f.busFP(&h, &f.rowQ[inv[cr]], false, perm, inv)
+		f.busFP(&h, &f.rowQ[inv[cr]], false, perm, inv, cperm, cinv)
 	}
-	for c := 0; c < n; c++ {
-		f.busFP(&h, &f.colQ[c], true, perm, inv)
+	for cc := 0; cc < n; cc++ {
+		f.busFP(&h, &f.colQ[cinv[cc]], true, perm, inv, cperm, cinv)
 	}
 	if cap(f.evH) < len(f.evs) {
 		f.evH = make([]uint64, 0, len(f.evs)*2)
 	}
 	evH := f.evH[:0]
 	for i := range f.evs {
-		v := f.evHash(&f.evs[i], perm, inv)
+		v := f.evHash(&f.evs[i], perm, inv, cperm, cinv)
 		// Insertion sort on the way in: the event multiset must hash
 		// order-insensitively (heap order varies across replays of the
 		// same abstract state).
@@ -315,11 +350,11 @@ func (f *FPCache) FP(perm, inv []int) uint64 {
 	return uint64(h)
 }
 
-func (f *FPCache) busFP(h *fnv, q *busQ, colBus bool, perm, inv []int) {
+func (f *FPCache) busFP(h *fnv, q *busQ, colBus bool, perm, inv, cperm, cinv []int) {
 	h.bit(q.busy)
 	h.bit(q.inflight != nil)
 	if q.inflight != nil {
-		h.u64(f.opPermFP(q.inflight, perm, inv))
+		h.u64(f.opPermFP(q.inflight, perm, inv, cperm, cinv))
 	}
 	h.u64(uint64(q.nonEmpty))
 	emit := func(canonSrc int, ops []*Op) {
@@ -329,14 +364,16 @@ func (f *FPCache) busFP(h *fnv, q *busQ, colBus bool, perm, inv []int) {
 		h.u64(uint64(int64(canonSrc)))
 		h.u64(uint64(len(ops)))
 		for _, op := range ops {
-			h.u64(f.opPermFP(op, perm, inv))
+			h.u64(f.opPermFP(op, perm, inv, cperm, cinv))
 		}
 	}
 	if !colBus {
-		// Row-bus sources are column indices: canonical order is
-		// physical order.
-		for src := range q.perSrc {
-			emit(src, q.perSrc[src])
+		// Row-bus sources are column indices, visited in canonical
+		// column order.
+		for cc := 0; cc < f.n; cc++ {
+			if src := cinv[cc]; src < len(q.perSrc) {
+				emit(cc, q.perSrc[src])
+			}
 		}
 		return
 	}
@@ -353,29 +390,30 @@ func (f *FPCache) busFP(h *fnv, q *busQ, colBus bool, perm, inv []int) {
 	}
 }
 
-func (f *FPCache) evHash(e *evRec, perm, inv []int) uint64 {
+func (f *FPCache) evHash(e *evRec, perm, inv, cperm, cinv []int) uint64 {
 	h := fnvOffset
 	switch e.kind {
 	case evEnqueue:
 		h.u64(0x10)
 		h.u64(permRowWord(perm, e.row))
-		h.u64(uint64(int64(e.col)))
+		h.u64(permRowWord(cperm, e.col))
 		h.u64(uint64(e.dim))
 		h.u64(e.busKind)
-		h.u64(f.busCanon(e.busKind, e.busIdx, perm))
-		h.u64(f.opPermFP(e.op, perm, inv))
+		h.u64(f.busCanon(e.busKind, e.busIdx, perm, cperm))
+		h.u64(f.opPermFP(e.op, perm, inv, cperm, cinv))
 	case evGrant:
 		h.u64(0x11)
 		h.u64(e.busKind)
-		h.u64(f.busCanon(e.busKind, e.busIdx, perm))
+		h.u64(f.busCanon(e.busKind, e.busIdx, perm, cperm))
 	case evDeliver:
 		h.u64(0x12)
 		h.u64(e.busKind)
-		h.u64(f.busCanon(e.busKind, e.busIdx, perm))
-		h.u64(f.opPermFP(e.op, perm, inv))
+		h.u64(f.busCanon(e.busKind, e.busIdx, perm, cperm))
+		h.u64(f.opPermFP(e.op, perm, inv, cperm, cinv))
 	case evExtra:
 		h.u64(0x13)
 		h.u64(permRowWord(perm, e.row))
+		h.u64(permRowWord(cperm, e.col))
 		h.u64(e.rest)
 	default:
 		h.u64(0x1f)
@@ -383,16 +421,19 @@ func (f *FPCache) evHash(e *evRec, perm, inv []int) uint64 {
 	return uint64(h)
 }
 
-func (f *FPCache) busCanon(kind uint64, idx int, perm []int) uint64 {
+func (f *FPCache) busCanon(kind uint64, idx int, perm, cperm []int) uint64 {
 	switch kind {
 	case 0:
 		return uint64(perm[idx])
 	case 1:
-		return uint64(idx)
+		return uint64(cperm[idx])
 	}
 	return 0
 }
 
+// permRowWord canonicalizes one coordinate index under perm; negative
+// indices (a memory module's row, an absent coordinate) pass through.
+// It serves rows and columns alike — both are plain index relabelings.
 func permRowWord(perm []int, r int) uint64 {
 	if r < 0 {
 		return uint64(int64(r))
@@ -400,10 +441,10 @@ func permRowWord(perm []int, r int) uint64 {
 	return uint64(perm[r])
 }
 
-// opPermFP hashes one bus operation under perm: the memoized
-// row-independent base plus the permuted Origin/Target rows and, when
-// snarfing is live, the permuted snarf eligibility matrix.
-func (f *FPCache) opPermFP(op *Op, perm, inv []int) uint64 {
+// opPermFP hashes one bus operation under (perm, cperm): the memoized
+// placement-independent base plus the permuted Origin/Target coordinates
+// and, when snarfing is live, the permuted snarf eligibility matrix.
+func (f *FPCache) opPermFP(op *Op, perm, inv, cperm, cinv []int) uint64 {
 	if !op.fpBaseOK {
 		op.fpBase = opBaseFP(op)
 		op.fpBaseOK = true
@@ -411,27 +452,26 @@ func (f *FPCache) opPermFP(op *Op, perm, inv []int) uint64 {
 	h := fnvOffset
 	h.u64(op.fpBase)
 	h.u64(permRowWord(perm, op.Origin.Row))
+	h.u64(permRowWord(cperm, op.Origin.Col))
 	if op.Flags&XFER != 0 {
 		h.u64(permRowWord(perm, op.Target.Row))
+		h.u64(permRowWord(cperm, op.Target.Col))
 	}
 	if f.snarf && op.Txn == READ && op.Data != nil {
-		h.u64(f.snarfWord(op, inv))
+		h.u64(f.snarfWord(op, inv, cinv))
 	}
 	return uint64(h)
 }
 
-// opBaseFP hashes the row-independent fields of an op. Every hashed
-// field is immutable once the op is fingerprint-visible (snapshot.go
-// hashes the same set), so callers memoize the result on the op.
+// opBaseFP hashes the placement-independent fields of an op. Every
+// hashed field is immutable once the op is fingerprint-visible
+// (snapshot.go hashes the same set), so callers memoize the result on
+// the op.
 func opBaseFP(op *Op) uint64 {
 	h := fnvOffset
 	h.byte(byte(op.Txn))
 	h.u64(uint64(op.Flags))
 	h.u64(uint64(op.Line))
-	h.u64(uint64(int64(op.Origin.Col)))
-	if op.Flags&XFER != 0 {
-		h.u64(uint64(int64(op.Target.Col)))
-	}
 	h.bit(op.Data != nil)
 	h.u64(uint64(len(op.Data)))
 	for _, w := range op.Data {
@@ -443,15 +483,16 @@ func opBaseFP(op *Op) uint64 {
 // snarfWord folds the born-vs-purgedAt eligibility relation (one bit per
 // node, in canonical node order) into a single word. The physical bit
 // matrix is memoized on the op per choice point; each permutation only
-// reorders the packed rows. Grids wider than 8 overflow the packing and
-// hash the bits directly.
-func (f *FPCache) snarfWord(op *Op, inv []int) uint64 {
+// reorders the packed rows (and, under a column relabeling, the bits
+// within each row). Grids wider than 8 overflow the packing and hash the
+// bits directly.
+func (f *FPCache) snarfWord(op *Op, inv, cinv []int) uint64 {
 	n := f.n
 	if n > 8 {
 		h := fnvOffset
 		for cr := 0; cr < n; cr++ {
-			for c := 0; c < n; c++ {
-				t, ok := f.sys.nodes[inv[cr]][c].purgedAt[op.Line]
+			for cc := 0; cc < n; cc++ {
+				t, ok := f.sys.nodes[inv[cr]][cinv[cc]].purgedAt[op.Line]
 				h.bit(ok && op.born <= t)
 			}
 		}
@@ -471,8 +512,19 @@ func (f *FPCache) snarfWord(op *Op, inv []int) uint64 {
 	}
 	mask := uint64(1)<<uint(n) - 1
 	var out uint64
+	if f.colIdent {
+		for cr := 0; cr < n; cr++ {
+			out |= ((op.fpSnarfBits >> uint(inv[cr]*n)) & mask) << uint(cr*n)
+		}
+		return out
+	}
 	for cr := 0; cr < n; cr++ {
-		out |= ((op.fpSnarfBits >> uint(inv[cr]*n)) & mask) << uint(cr*n)
+		rowBits := (op.fpSnarfBits >> uint(inv[cr]*n)) & mask
+		var p uint64
+		for cc := 0; cc < n; cc++ {
+			p |= ((rowBits >> uint(cinv[cc])) & 1) << uint(cc)
+		}
+		out |= p << uint(cr*n)
 	}
 	return out
 }

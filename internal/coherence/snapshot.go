@@ -18,8 +18,11 @@ import (
 // Row symmetry: the protocol treats rows interchangeably (home columns
 // are a function of the line address alone), so the fingerprint accepts a
 // row relabeling and the checker takes the minimum over all of them.
-// Columns are NOT symmetric — the home-column interleaving pins each line
-// to a specific column bus — so no column relabeling is attempted.
+// Columns are symmetric only conditionally — the home-column interleaving
+// pins each line to a specific column bus — so FingerprintRC additionally
+// accepts a column relabeling, sound exactly when it fixes the home
+// column of every line the run can touch (the caller's obligation;
+// internal/mc derives the admissible set from the scenario).
 
 // fnv is an incremental FNV-1a 64 hasher.
 type fnv uint64
@@ -62,15 +65,31 @@ func (h *fnv) bit(b bool) {
 // explorer already branches on, while per-source FIFO order is fixed by
 // the hardware.
 func (s *System) Fingerprint(perm []int, extraTag func(tag any) (uint64, bool)) uint64 {
+	return s.FingerprintRC(perm, nil, extraTag)
+}
+
+// FingerprintRC is Fingerprint under a simultaneous row relabeling perm
+// and column relabeling cperm (nil means identity for either). The
+// column relabeling permutes node columns, memory modules, column-bus
+// identities, row-bus source indices, and every hashed column
+// coordinate. It is the caller's obligation that cperm fixes the home
+// column of every line reachable in the run; FingerprintRC applies
+// whatever relabeling it is handed.
+func (s *System) FingerprintRC(perm, cperm []int, extraTag func(tag any) (uint64, bool)) uint64 {
 	n := s.cfg.N
-	if perm == nil {
+	if perm == nil || cperm == nil {
 		if len(s.fpIdent) != n {
 			s.fpIdent = make([]int, n)
 			for i := range s.fpIdent {
 				s.fpIdent[i] = i
 			}
 		}
-		perm = s.fpIdent
+		if perm == nil {
+			perm = s.fpIdent
+		}
+		if cperm == nil {
+			cperm = s.fpIdent
+		}
 	}
 	if len(s.fpInv) != n {
 		s.fpInv = make([]int, n)
@@ -78,6 +97,13 @@ func (s *System) Fingerprint(perm []int, extraTag func(tag any) (uint64, bool)) 
 	inv := s.fpInv
 	for phys, canon := range perm {
 		inv[canon] = phys
+	}
+	if len(s.fpCInv) != n {
+		s.fpCInv = make([]int, n)
+	}
+	cinv := s.fpCInv
+	for phys, canon := range cperm {
+		cinv[canon] = phys
 	}
 
 	h := fnvOffset
@@ -88,10 +114,16 @@ func (s *System) Fingerprint(perm []int, extraTag func(tag any) (uint64, bool)) 
 		}
 		return perm[r]
 	}
+	permCol := func(c int) int {
+		if c < 0 {
+			return c
+		}
+		return cperm[c]
+	}
 
 	hashCoord := func(c topology.Coord) {
 		h.u64(uint64(int64(permRow(c.Row))))
-		h.u64(uint64(int64(c.Col)))
+		h.u64(uint64(int64(permCol(c.Col))))
 	}
 
 	// opFP hashes one bus operation's protocol-visible fields. Transient
@@ -119,8 +151,8 @@ func (s *System) Fingerprint(perm []int, extraTag func(tag any) (uint64, bool)) 
 		}
 		if s.cfg.Snarf && op.Txn == READ && op.Data != nil {
 			for cr := 0; cr < n; cr++ {
-				for c := 0; c < n; c++ {
-					nd := s.nodes[inv[cr]][c]
+				for cc := 0; cc < n; cc++ {
+					nd := s.nodes[inv[cr]][cinv[cc]]
 					t, ok := nd.purgedAt[op.Line]
 					h.bit(ok && op.born <= t)
 				}
@@ -130,8 +162,8 @@ func (s *System) Fingerprint(perm []int, extraTag func(tag any) (uint64, bool)) 
 
 	// Nodes, in canonical (row, col) order.
 	for cr := 0; cr < n; cr++ {
-		for c := 0; c < n; c++ {
-			nd := s.nodes[inv[cr]][c]
+		for cc := 0; cc < n; cc++ {
+			nd := s.nodes[inv[cr]][cinv[cc]]
 			h.byte(0x01)
 			nd.l2.ForEach(func(e *cache.Entry) {
 				h.u64(uint64(e.Line))
@@ -158,10 +190,10 @@ func (s *System) Fingerprint(perm []int, extraTag func(tag any) (uint64, bool)) 
 		}
 	}
 
-	// Memory modules, per column.
-	for c := 0; c < n; c++ {
+	// Memory modules, in canonical column order.
+	for cc := 0; cc < n; cc++ {
 		h.byte(0x04)
-		s.mems[c].store.ForEach(func(line memory.Line, valid bool, data []uint64) {
+		s.mems[cinv[cc]].store.ForEach(func(line memory.Line, valid bool, data []uint64) {
 			h.u64(uint64(line))
 			h.bit(valid)
 			for _, w := range data {
@@ -170,10 +202,10 @@ func (s *System) Fingerprint(perm []int, extraTag func(tag any) (uint64, bool)) 
 		})
 	}
 
-	// Buses. Row buses are visited in canonical order; sources on a row
-	// bus are column indices (not permuted), sources on a column bus are
-	// row indices (permuted) with the memory module's index mapping to
-	// itself.
+	// Buses. Both families are visited in canonical order; sources on a
+	// row bus are column indices (relabeled by cperm), sources on a
+	// column bus are row indices (relabeled by perm) with the memory
+	// module's index mapping to itself.
 	busID := func(b *bus.Bus) (uint64, uint64) {
 		for r := 0; r < n; r++ {
 			if s.rows[r] == b {
@@ -182,7 +214,7 @@ func (s *System) Fingerprint(perm []int, extraTag func(tag any) (uint64, bool)) 
 		}
 		for c := 0; c < n; c++ {
 			if s.cols[c] == b {
-				return 1, uint64(c)
+				return 1, uint64(cperm[c])
 			}
 		}
 		return 2, 0
@@ -228,10 +260,10 @@ func (s *System) Fingerprint(perm []int, extraTag func(tag any) (uint64, bool)) 
 		}
 	}
 
-	identSrc := func(src int) int { return src }
+	rowSrc := func(src int) int { return cperm[src] } // sources are column indices
 	for cr := 0; cr < n; cr++ {
 		h.byte(0x05)
-		hashBus(s.rows[inv[cr]], identSrc)
+		hashBus(s.rows[inv[cr]], rowSrc)
 	}
 	colSrc := func(src int) int {
 		if src < n {
@@ -239,9 +271,9 @@ func (s *System) Fingerprint(perm []int, extraTag func(tag any) (uint64, bool)) 
 		}
 		return src // the memory module
 	}
-	for c := 0; c < n; c++ {
+	for cc := 0; cc < n; cc++ {
 		h.byte(0x06)
-		hashBus(s.cols[c], colSrc)
+		hashBus(s.cols[cinv[cc]], colSrc)
 	}
 
 	// Pending kernel events, as a multiset (absolute times excluded: in
@@ -254,7 +286,7 @@ func (s *System) Fingerprint(perm []int, extraTag func(tag any) (uint64, bool)) 
 		case EnqueueTag:
 			eh.byte(0x10)
 			eh.u64(uint64(int64(permRow(t.Issuer.Row))))
-			eh.u64(uint64(int64(t.Issuer.Col)))
+			eh.u64(uint64(int64(permCol(t.Issuer.Col))))
 			eh.byte(byte(t.Dim))
 			kind, id := busID(t.bus)
 			eh.u64(kind)

@@ -34,8 +34,9 @@ type fpOp struct {
 // canonical policy installed on both machines they traverse isomorphic
 // executions step for step.
 type canonChooser struct {
-	s    *System
-	perm []int // physical row -> canonical row; nil is identity
+	s     *System
+	perm  []int // physical row -> canonical row; nil is identity
+	cperm []int // physical col -> canonical col; nil is identity
 }
 
 func (c *canonChooser) permRow(r int) int {
@@ -45,6 +46,13 @@ func (c *canonChooser) permRow(r int) int {
 	return c.perm[r]
 }
 
+func (c *canonChooser) permCol(col int) int {
+	if col < 0 || c.cperm == nil {
+		return col
+	}
+	return c.cperm[col]
+}
+
 func (c *canonChooser) key(tag any) uint64 {
 	h := fnvOffset
 	hashOp := func(op *Op) {
@@ -52,10 +60,10 @@ func (c *canonChooser) key(tag any) uint64 {
 		h.u64(uint64(op.Flags))
 		h.u64(uint64(op.Line))
 		h.u64(uint64(int64(c.permRow(op.Origin.Row))))
-		h.u64(uint64(int64(op.Origin.Col)))
+		h.u64(uint64(int64(c.permCol(op.Origin.Col))))
 		if op.Flags&XFER != 0 {
 			h.u64(uint64(int64(c.permRow(op.Target.Row))))
-			h.u64(uint64(int64(op.Target.Col)))
+			h.u64(uint64(int64(c.permCol(op.Target.Col))))
 		}
 		h.bit(op.Data != nil)
 		for _, w := range op.Data {
@@ -64,8 +72,11 @@ func (c *canonChooser) key(tag any) uint64 {
 	}
 	hashBus := func(b *bus.Bus) {
 		idx := c.s.busIndex(b)
-		if idx >= 0 && idx < c.s.cfg.N {
+		switch n := c.s.cfg.N; {
+		case idx >= 0 && idx < n:
 			idx = c.permRow(idx) // row buses permute with their rows
+		case idx >= n && idx < 2*n:
+			idx = n + c.permCol(idx-n) // column buses with their columns
 		}
 		h.u64(uint64(int64(idx)))
 	}
@@ -73,7 +84,7 @@ func (c *canonChooser) key(tag any) uint64 {
 	case EnqueueTag:
 		h.byte(0x10)
 		h.u64(uint64(int64(c.permRow(t.Issuer.Row))))
-		h.u64(uint64(int64(t.Issuer.Col)))
+		h.u64(uint64(int64(c.permCol(t.Issuer.Col))))
 		h.byte(byte(t.Dim))
 		hashBus(t.TargetBus())
 		hashOp(t.Op)
@@ -111,22 +122,36 @@ func (c *canonChooser) Choose(cp sim.ChoicePoint, cands []sim.Candidate) int {
 // outstanding transaction, so each node's ops are chained through
 // completion callbacks, exactly as the model checker drives programs.
 func buildState(t testing.TB, n int, script []fpOp, rowMap []int, steps int) *System {
+	return buildStateRC(t, n, script, rowMap, nil, steps)
+}
+
+// buildStateRC is buildState with an additional column relabeling
+// colMap applied to each op's column. Scripts passed with a non-nil
+// colMap must keep every line's home column a fixed point of colMap —
+// the precondition of the column symmetry itself.
+func buildStateRC(t testing.TB, n int, script []fpOp, rowMap, colMap []int, steps int) *System {
 	t.Helper()
 	k := sim.NewKernel()
 	s := MustNewSystem(k, Config{N: n, BlockWords: 2, MLTEntries: 2, MLTAssoc: 1})
-	var perm []int
+	var perm, cperm []int
 	if rowMap != nil {
 		perm = invert(rowMap)
 	}
-	s.SetChooser(&canonChooser{s: s, perm: perm})
+	if colMap != nil {
+		cperm = invert(colMap)
+	}
+	s.SetChooser(&canonChooser{s: s, perm: perm, cperm: cperm})
 	queues := make(map[topology.Coord][]fpOp)
 	var order []topology.Coord
 	for _, o := range script {
-		row := o.row
+		row, col := o.row, o.col
 		if rowMap != nil {
 			row = rowMap[row]
 		}
-		at := topology.Coord{Row: row, Col: o.col}
+		if colMap != nil {
+			col = colMap[col]
+		}
+		at := topology.Coord{Row: row, Col: col}
 		if _, ok := queues[at]; !ok {
 			order = append(order, at)
 		}

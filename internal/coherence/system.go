@@ -233,9 +233,10 @@ type System struct {
 	dropped uint64
 
 	// fpIdent/fpInv are reusable Fingerprint scratch: the cached identity
-	// permutation and the inverse-permutation buffer. A System is bound
-	// to one kernel and is not fingerprinted concurrently.
-	fpIdent, fpInv []int
+	// permutation and the inverse-permutation buffer (rows); fpCInv is
+	// the column counterpart. A System is bound to one kernel and is not
+	// fingerprinted concurrently.
+	fpIdent, fpInv, fpCInv []int
 }
 
 // EnqueueTag tags a device-latency kernel event whose only effect, when

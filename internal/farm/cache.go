@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"multicube/internal/farm/jobspec"
 )
@@ -31,6 +33,11 @@ import (
 // atomic (temp file + rename into place), so a crash mid-write leaves
 // either the old entry or none — never a torn one — and a restarted
 // server recovers every completed result by fingerprint.
+// The disk tier is optionally bounded (SetDiskLimits): when the stored
+// bytes exceed the budget, or entries outlive the age cap, a sweep
+// deletes least-recently-written entries first. Deletion is a plain
+// unlink — atomic on POSIX — so a concurrent Get either reads the full
+// entry or misses and re-runs the job; nothing is ever half-deleted.
 type Cache struct {
 	dir     string // "" = memory-only
 	maxMem  int
@@ -39,6 +46,14 @@ type Cache struct {
 	byFP    map[string]*list.Element // fingerprint → LRU element
 	onDisk  int                      // entries recovered or written this process
 	scanned bool
+
+	maxDiskBytes int64         // 0 = unbounded
+	maxAge       time.Duration // 0 = no age cap
+	diskBytes    int64         // bytes currently stored on disk
+	evictions    uint64        // entries deleted by the sweep
+	lastSweep    time.Time
+
+	sweepMu sync.Mutex // serializes evict walks; mu stays hot-path only
 }
 
 type cacheEntry struct {
@@ -66,19 +81,32 @@ func NewCache(dir string, maxMem int) (*Cache, error) {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("farm: cache dir: %w", err)
 		}
-		n, err := c.sweep()
+		n, bytes, err := c.sweep()
 		if err != nil {
 			return nil, err
 		}
 		c.onDisk = n
+		c.diskBytes = bytes
 		c.scanned = true
 	}
 	return c, nil
 }
 
-// sweep counts recoverable entries and deletes temp droppings.
-func (c *Cache) sweep() (int, error) {
-	n := 0
+// SetDiskLimits bounds the disk tier: maxBytes caps the total stored
+// bytes (0 = unbounded), maxAge caps entry lifetime since last write
+// (0 = no cap). Enforcement is a least-recently-written sweep run after
+// writes; it never touches the memory tier.
+func (c *Cache) SetDiskLimits(maxBytes int64, maxAge time.Duration) {
+	c.mu.Lock()
+	c.maxDiskBytes = maxBytes
+	c.maxAge = maxAge
+	c.mu.Unlock()
+}
+
+// sweep counts recoverable entries and their bytes, deleting temp
+// droppings.
+func (c *Cache) sweep() (int, int64, error) {
+	n, bytes := 0, int64(0)
 	err := filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
 			return err
@@ -86,15 +114,18 @@ func (c *Cache) sweep() (int, error) {
 		switch {
 		case strings.HasSuffix(d.Name(), ".json"):
 			n++
+			if fi, err := d.Info(); err == nil {
+				bytes += fi.Size()
+			}
 		case strings.Contains(d.Name(), ".tmp"):
 			os.Remove(path)
 		}
 		return nil
 	})
 	if err != nil {
-		return 0, fmt.Errorf("farm: cache recovery scan: %w", err)
+		return 0, 0, fmt.Errorf("farm: cache recovery scan: %w", err)
 	}
-	return n, nil
+	return n, bytes, nil
 }
 
 // path shards entries by fingerprint prefix so no directory grows
@@ -129,7 +160,12 @@ func (c *Cache) Get(fp string) (data []byte, tier string, ok bool) {
 	}
 	var r jobspec.Result
 	if err := json.Unmarshal(b, &r); err != nil || r.Validate() != nil || r.Fingerprint != fp {
-		os.Remove(c.path(fp))
+		if os.Remove(c.path(fp)) == nil {
+			c.mu.Lock()
+			c.onDisk--
+			c.diskBytes -= int64(len(b))
+			c.mu.Unlock()
+		}
 		return nil, "", false
 	}
 	c.insertMem(fp, b)
@@ -146,6 +182,10 @@ func (c *Cache) Put(fp string, data []byte) error {
 	path := c.path(fp)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("farm: cache put: %w", err)
+	}
+	var overwritten int64 // bytes replaced if this fp already has a disk entry
+	if fi, err := os.Stat(path); err == nil {
+		overwritten = fi.Size()
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), fp+".tmp*")
 	if err != nil {
@@ -165,9 +205,95 @@ func (c *Cache) Put(fp string, data []byte) error {
 		return fmt.Errorf("farm: cache put: %w", err)
 	}
 	c.mu.Lock()
-	c.onDisk++
+	if overwritten == 0 {
+		c.onDisk++
+	}
+	c.diskBytes += int64(len(data)) - overwritten
+	needSweep := c.needSweepLocked(time.Now())
 	c.mu.Unlock()
+	if needSweep {
+		c.evict(time.Now())
+	}
 	return nil
+}
+
+// needSweepLocked decides whether a sweep is due: always when over the
+// byte budget, and at most every maxAge/4 (floor 1s) when an age cap is
+// set, so idle caches still expire without a timer goroutine.
+func (c *Cache) needSweepLocked(now time.Time) bool {
+	if c.maxDiskBytes > 0 && c.diskBytes > c.maxDiskBytes {
+		return true
+	}
+	if c.maxAge > 0 {
+		period := c.maxAge / 4
+		if period < time.Second {
+			period = time.Second
+		}
+		return now.Sub(c.lastSweep) >= period
+	}
+	return false
+}
+
+// evict walks the disk tier and deletes entries until both limits hold:
+// first everything past the age cap, then least-recently-written first
+// until the byte budget is met. The walk recomputes the byte gauge from
+// the filesystem, so the counter self-heals after external deletions.
+func (c *Cache) evict(now time.Time) {
+	c.sweepMu.Lock()
+	defer c.sweepMu.Unlock()
+	c.mu.Lock()
+	maxBytes, maxAge := c.maxDiskBytes, c.maxAge
+	c.lastSweep = now
+	c.mu.Unlock()
+
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var entries []entry
+	total := int64(0)
+	filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".json") {
+			return nil
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		entries = append(entries, entry{path: path, size: fi.Size(), mtime: fi.ModTime()})
+		total += fi.Size()
+		return nil
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+
+	removed, removedBytes := 0, int64(0)
+	for _, e := range entries {
+		expired := maxAge > 0 && now.Sub(e.mtime) > maxAge
+		overBudget := maxBytes > 0 && total-removedBytes > maxBytes
+		if !expired && !overBudget {
+			// Sorted oldest-first: every later entry is newer (not expired)
+			// and the running total only shrinks (not over budget). Done.
+			break
+		}
+		if os.Remove(e.path) == nil {
+			removed++
+			removedBytes += e.size
+		}
+	}
+	c.mu.Lock()
+	c.onDisk -= removed
+	c.diskBytes = total - removedBytes
+	c.evictions += uint64(removed)
+	c.mu.Unlock()
+}
+
+// DiskStats reports the disk tier's current byte footprint and the
+// number of entries the bounded sweep has evicted.
+func (c *Cache) DiskStats() (bytes int64, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.diskBytes, c.evictions
 }
 
 func (c *Cache) insertMem(fp string, data []byte) {

@@ -24,6 +24,9 @@ type counters struct {
 	eventsSimulated atomic.Uint64
 	busyNS          atomic.Int64
 	busyWorkers     atomic.Int64
+
+	mcResumed  atomic.Uint64
+	mcHandoffs atomic.Uint64
 }
 
 // Metrics is the /metrics snapshot.
@@ -45,6 +48,9 @@ type Metrics struct {
 	DedupHits       uint64  `json:"dedup_hits"`
 	CacheMemEntries int     `json:"cache_mem_entries"`
 	CacheDiskItems  int     `json:"cache_disk_entries"`
+	// Disk-tier footprint and the bounded sweep's eviction count.
+	CacheDiskBytes     int64  `json:"cache_disk_bytes"`
+	CacheDiskEvictions uint64 `json:"cache_disk_evictions"`
 
 	// Queue and pool pressure.
 	QueueDepth        int     `json:"queue_depth"`
@@ -59,6 +65,10 @@ type Metrics struct {
 	StatesExplored  uint64  `json:"states_explored"`
 	EventsSimulated uint64  `json:"events_simulated"`
 	StatesPerSec    float64 `json:"states_per_sec"`
+
+	// Checkpoint/resume and distributed-exploration activity.
+	MCJobsResumed uint64 `json:"mc_jobs_resumed"`
+	MCHandoffs    uint64 `json:"mc_handoffs"`
 
 	CorpusSize int `json:"corpus_size"`
 }
@@ -92,5 +102,7 @@ func (c *counters) snapshot(start time.Time) Metrics {
 		StatesExplored:  c.statesExplored.Load(),
 		EventsSimulated: c.eventsSimulated.Load(),
 		StatesPerSec:    statesPerSec,
+		MCJobsResumed:   c.mcResumed.Load(),
+		MCHandoffs:      c.mcHandoffs.Load(),
 	}
 }

@@ -36,6 +36,27 @@ type Config struct {
 	// MCWorkers is explorer parallelism per mc job; default 1 (the farm
 	// parallelizes across jobs, not within them).
 	MCWorkers int
+	// MCDistParts splits each mc exploration across n fingerprint-range
+	// partitions with cross-partition handoff (mc.Options.DistParts).
+	// Like MCWorkers it is execution policy, not job identity: verdicts
+	// are partition-count independent. Default 0 (off).
+	MCDistParts int
+	// MCCheckpointDir, when set, makes mc jobs resumable: each job
+	// checkpoints its search under <dir>/<fp-prefix>/<fingerprint>, and a
+	// resubmission of a killed or timed-out job (which is never cached)
+	// resumes from the last checkpoint instead of starting over.
+	// Checkpoints of completed jobs are deleted — the cached result
+	// supersedes them. Requires MCWorkers <= 1 and MCDistParts <= 1;
+	// otherwise checkpointing is silently skipped.
+	MCCheckpointDir string
+	// MCCheckpointEvery is the executions-between-checkpoints cadence
+	// for resumable mc jobs; 0 uses the explorer default.
+	MCCheckpointEvery int
+	// CacheMaxDiskBytes bounds the disk result tier; past it, a sweep
+	// evicts least-recently-written entries. 0 = unbounded.
+	CacheMaxDiskBytes int64
+	// CacheMaxAge expires disk-tier entries by age. 0 = no expiry.
+	CacheMaxAge time.Duration
 	// RatePerSec and RateBurst are the per-client token bucket; rate 0
 	// disables limiting. Defaults: 50/s, burst 100.
 	RatePerSec float64
@@ -163,6 +184,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	cache.SetDiskLimits(cfg.CacheMaxDiskBytes, cfg.CacheMaxAge)
 	corpus, err := OpenCorpus(cfg.CorpusDir)
 	if err != nil {
 		return nil, err
@@ -174,7 +196,12 @@ func New(cfg Config) (*Server, error) {
 		corpus:     corpus,
 		limiter:    newRateLimiter(cfg.RatePerSec, cfg.RateBurst),
 		start:      time.Now(),
-		exec:       executor{mcWorkers: cfg.MCWorkers},
+		exec: executor{
+			mcWorkers:         cfg.MCWorkers,
+			mcDistParts:       cfg.MCDistParts,
+			checkpointRoot:    cfg.MCCheckpointDir,
+			mcCheckpointEvery: cfg.MCCheckpointEvery,
+		},
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
@@ -254,6 +281,13 @@ func (s *Server) runJob(j *job) {
 		j.mu.Unlock()
 	})
 	s.ctr.busyNS.Add(int64(time.Since(begin)))
+
+	if res.MC != nil {
+		if res.MC.Resumed {
+			s.ctr.mcResumed.Add(1)
+		}
+		s.ctr.mcHandoffs.Add(uint64(res.MC.Handoffs))
+	}
 
 	// Persist swarm catches before publishing the result, so a client
 	// that sees the violation can immediately replay the corpus.
@@ -531,6 +565,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m.WorkerUtilization = float64(m.BusyWorkers) / float64(m.Workers)
 	}
 	m.CacheMemEntries, m.CacheDiskItems = s.cache.Stats()
+	m.CacheDiskBytes, m.CacheDiskEvictions = s.cache.DiskStats()
 	m.CorpusSize = s.corpus.Len()
 	writeJSON(w, http.StatusOK, m)
 }

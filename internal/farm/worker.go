@@ -3,6 +3,8 @@ package farm
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"multicube/internal/core"
 	"multicube/internal/farm/jobspec"
@@ -37,6 +39,18 @@ type executor struct {
 	// throughput lever is the worker pool, so this defaults to 1; raise
 	// it on big machines serving few, huge explorations.
 	mcWorkers int
+	// mcDistParts splits each mc search across fingerprint-range
+	// partitions (mc.Options.DistParts); like mcWorkers it never changes
+	// a verdict, so it stays out of job identity.
+	mcDistParts int
+	// checkpointRoot, when non-empty, gives each mc job a checkpoint
+	// directory keyed by its fingerprint, making killed jobs resumable
+	// on resubmission. Checkpointing composes only with the sequential
+	// pass, so it is skipped when mcWorkers or mcDistParts exceed 1.
+	checkpointRoot string
+	// mcCheckpointEvery overrides the checkpoint cadence (0 = explorer
+	// default).
+	mcCheckpointEvery int
 }
 
 // run executes spec (already normalized, fingerprinted fp) and returns
@@ -70,6 +84,18 @@ func (x *executor) runMC(ctx context.Context, spec *jobspec.MCSpec, res *jobspec
 	opts := spec.ExploreOptions()
 	opts.Ctx = ctx
 	opts.Workers = x.mcWorkers
+	opts.DistParts = x.mcDistParts
+	ckdir := ""
+	if x.checkpointRoot != "" && x.mcWorkers <= 1 && x.mcDistParts <= 1 {
+		// Per-job checkpoint directory under the job fingerprint, sharded
+		// like the result cache. Resume is unconditional: a fresh job sees
+		// an empty directory (ErrNoCheckpoint → fresh start), a resubmitted
+		// killed job picks up where it stopped with an identical verdict.
+		ckdir = filepath.Join(x.checkpointRoot, fpShard(res.Fingerprint), res.Fingerprint)
+		opts.CheckpointDir = ckdir
+		opts.CheckpointEvery = x.mcCheckpointEvery
+		opts.Resume = true
+	}
 	opts.Progress = func(p mc.Progress) {
 		report(Progress{States: p.States, Runs: p.Runs, Frontier: p.Frontier})
 	}
@@ -78,6 +104,12 @@ func (x *executor) runMC(ctx context.Context, spec *jobspec.MCSpec, res *jobspec
 		res.Verdict = "error"
 		res.Error = err.Error()
 		return
+	}
+	if ckdir != "" && !r.Canceled {
+		// The completed result supersedes the checkpoint (it will be
+		// cached under the same fingerprint); canceled jobs keep theirs
+		// so resubmission resumes.
+		os.RemoveAll(ckdir)
 	}
 	res.MC = &jobspec.MCResult{Result: r}
 	switch {
@@ -90,6 +122,15 @@ func (x *executor) runMC(ctx context.Context, spec *jobspec.MCSpec, res *jobspec
 	default:
 		res.Verdict = "ok"
 	}
+}
+
+// fpShard mirrors the result cache's directory sharding for checkpoint
+// roots: two-hex-digit prefix, so no directory grows unboundedly.
+func fpShard(fp string) string {
+	if len(fp) >= 2 {
+		return fp[:2]
+	}
+	return "xx"
 }
 
 func (x *executor) runSim(ctx context.Context, spec *jobspec.SimSpec, res *jobspec.Result, report func(Progress)) {

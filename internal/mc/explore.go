@@ -7,6 +7,7 @@ package mc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"multicube/internal/bus"
 	"multicube/internal/coherence"
 	"multicube/internal/sim"
+	"multicube/internal/statespace"
 )
 
 // Violation is one safety failure, with the choice sequence that
@@ -108,6 +110,40 @@ type Options struct {
 	// coherence machine).
 	Instrument func(*coherence.System)
 
+	// StoreDir, when non-empty, lets the visited-state table spill cold
+	// shards to disk under the MemBudget cap (the -store flag). Empty
+	// keeps the table memory-only.
+	StoreDir string
+	// MemBudget caps the visited table's estimated in-memory bytes;
+	// beyond it shards spill to StoreDir. Zero means unbounded RAM.
+	MemBudget int64
+	// CheckpointDir enables periodic atomic checkpoints of the search
+	// (frontier + visited shards + counters) under the given directory
+	// (the -checkpoint flag). Requires a sequential search (Workers <= 1,
+	// DistParts <= 1); StoreDir defaults to CheckpointDir when unset.
+	CheckpointDir string
+	// CheckpointEvery is the number of from-scratch executions between
+	// checkpoints; zero means a default of 512. Ignored without
+	// CheckpointDir.
+	CheckpointEvery int
+	// Resume continues from the newest checkpoint in CheckpointDir when
+	// one matches this scenario and these options (the -resume flag). The
+	// resumed search's verdict, state count, and counterexample are
+	// byte-identical to an uninterrupted run's; Result.Resumed reports
+	// whether a checkpoint was actually used, and a corrupt or mismatched
+	// checkpoint falls back to a fresh run with Result.ResumeNote set.
+	Resume bool
+	// DistParts, when > 1, splits the search across that many workers by
+	// fingerprint-range ownership with cross-partition handoff (see
+	// distribute.go) — the in-process form of farm-distributed
+	// exploration. Like Workers, the verdict is deterministic but the
+	// statistics of a violation-free search can vary with scheduling.
+	DistParts int
+
+	// faultHook, when non-nil, is called at checkpoint boundaries with
+	// "pre-checkpoint"/"post-checkpoint" so crash-injection tests can die
+	// exactly there (by panicking or killing the process).
+	faultHook func(string)
 	// legacyAmple swaps the persistent-set rule for PR 1's conservative
 	// ample rule and disables sleep sets, so tests can compare the two
 	// reductions' state counts on identical scenarios.
@@ -130,6 +166,17 @@ func (o *Options) fillDefaults() {
 	}
 	if o.Workers < 1 {
 		o.Workers = 1
+	}
+	if o.CheckpointDir != "" {
+		if o.StoreDir == "" {
+			o.StoreDir = o.CheckpointDir
+		}
+		if o.CheckpointEvery <= 0 {
+			o.CheckpointEvery = 512
+		}
+	}
+	if o.DistParts < 0 {
+		o.DistParts = 0
 	}
 }
 
@@ -189,6 +236,20 @@ type Result struct {
 	// does not request them, else "ok", "undecided" (some search hit the
 	// node budget), or "violation" (the reported Violation is "sc-total").
 	SCVerdict string
+	// Resumed reports the search continued from an on-disk checkpoint
+	// (Options.Resume found a matching one). Every other field of a
+	// resumed Result is byte-identical to an uninterrupted run's.
+	Resumed bool
+	// ResumeNote explains why a requested resume fell back to a fresh
+	// search (corrupt or mismatched checkpoint); empty otherwise.
+	ResumeNote string
+	// Spills and DiskBytes describe the visited store's disk tier: shard
+	// evictions performed and on-disk bytes at the end of the search
+	// (both zero for a memory-only table).
+	Spills    int
+	DiskBytes int64
+	// Handoffs counts cross-partition work transfers under DistParts.
+	Handoffs int
 	Violation *Violation
 }
 
@@ -243,10 +304,14 @@ func picksOf(taken []take) []int {
 }
 
 // workItem is one pending branch: a choice prefix plus the sleep set
-// that becomes active once the prefix is replayed.
+// that becomes active once the prefix is replayed. skip, used by
+// distributed handoffs, is the number of tracked states beyond the
+// prefix the previous owner already processed; the receiver replays them
+// without consulting the visited table.
 type workItem struct {
 	prefix []int
 	sleep  sleepSet
+	skip   int
 }
 
 // mcChooser scripts an execution: the first len(prefix) choice points
@@ -459,61 +524,14 @@ func ampleIndex(cands []sim.Candidate) int {
 	return -1
 }
 
-// visitedSet is the sharded visited-state table. Each fingerprint maps
-// to the smallest sleep set (as sorted transition fingerprints) it has
-// been explored with: arriving with a superset means everything from
-// here was already covered; arriving with anything else means some
-// successors were skipped last time, so the state is re-explored and the
-// table keeps the intersection (the successors covered by both visits'
-// complements). An empty stored set — always the case with sleep sets
-// off — truncates every revisit, PR 1's behavior.
-type visitedSet struct {
-	shards [64]visitShard
-	count  atomic.Int64
-}
-
-type visitShard struct {
-	mu sync.Mutex
-	m  map[uint64][]uint64
-}
-
-type visitResult uint8
-
-const (
-	visitNew visitResult = iota
-	visitAgain
-	visitSeen
-	visitBudget
-)
-
-func newVisitedSet() *visitedSet {
-	v := &visitedSet{}
-	for i := range v.shards {
-		v.shards[i].m = make(map[uint64][]uint64)
-	}
-	return v
-}
-
-func (v *visitedSet) visit(fp uint64, sleep []uint64, max int) visitResult {
-	sh := &v.shards[fp&uint64(len(v.shards)-1)]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if stored, ok := sh.m[fp]; ok {
-		if subsetOf(stored, sleep) {
-			return visitSeen
-		}
-		sh.m[fp] = intersectSorted(stored, sleep)
-		return visitAgain
-	}
-	if v.count.Add(1) > int64(max) {
-		v.count.Add(-1)
-		return visitBudget
-	}
-	sh.m[fp] = sleep
-	return visitNew
-}
-
-func (v *visitedSet) states() int { return int(v.count.Load()) }
+// The visited-state table lives in internal/statespace: each canonical
+// fingerprint maps to the smallest sleep set (as sorted transition
+// fingerprints) it has been explored with — arriving with a superset
+// means everything from here was already covered; anything else
+// re-explores and the table keeps the intersection. An empty stored set
+// — always the case with sleep sets off — truncates every revisit, PR
+// 1's behavior. statespace.Store preserves that contract bit-for-bit
+// while adding the disk tier, checkpoints, and the ownership partition.
 
 // explorer holds the cross-run state of one exploration.
 type explorer struct {
@@ -521,16 +539,22 @@ type explorer struct {
 	opts    Options
 	sh      *shared
 	n       int
-	visited *visitedSet
+	visited *statespace.Store
 	budget  atomic.Bool
 	fpRec   atomic.Uint64
 	fpInc   atomic.Uint64
 	scRuns  atomic.Uint64
 	scUndec atomic.Uint64
+
+	// scenH/optH pin checkpoints to this exploration; totalPrev carries
+	// run counts of completed deepening iterations into checkpoints.
+	scenH, optH string
+	totalPrev   int
 }
 
 func newExplorer(sc *Scenario, opts Options) *explorer {
-	return &explorer{sc: sc, opts: opts, sh: newShared(sc, &opts), n: sc.N, visited: newVisitedSet()}
+	st, _ := statespace.Open(statespace.Config{}) // memory-only: cannot fail
+	return &explorer{sc: sc, opts: opts, sh: newShared(sc, &opts), n: sc.N, visited: st}
 }
 
 type runOut struct {
@@ -541,6 +565,10 @@ type runOut struct {
 	stepsHit  bool // the per-run step guard fired
 	blocked   bool // every enabled transition was slept
 	budgetCut bool // this run hit the state budget
+	// handoff, under distributed exploration, is the continuation of a
+	// run that reached a state owned by partition handoffTo.
+	handoff   *workItem
+	handoffTo int
 }
 
 // run executes the scenario from scratch under the given work item.
@@ -551,14 +579,25 @@ type runOut struct {
 func (e *explorer) run(it workItem, depth int, track bool) runOut {
 	ck := newChecker(e.sc, e.sh)
 	ch := newMCChooser(ck, e.n, it, depth, &e.opts)
-	return e.execute(ck, ch, len(it.prefix), track)
+	return e.execute(ck, ch, len(it.prefix), track, -1, 0)
 }
 
-func (e *explorer) execute(ck checker, ch *mcChooser, prefixLen int, track bool) runOut {
+// execute drives one from-scratch execution. own >= 0 enables the
+// ownership discipline of distributed exploration: tracked states in a
+// foreign fingerprint range stop the run with a handoff instead of a
+// visit, and the first skip tracked states beyond the prefix — already
+// processed by the previous owner — are replayed without visiting.
+func (e *explorer) execute(ck checker, ch *mcChooser, prefixLen int, track bool, own, skip int) runOut {
 	ck.enableMC(ch)
 	k := ck.kernel()
 	var out runOut
 	steps := 0
+	skipLeft := skip
+	// sinceChoice counts tracked states (skipped included) since the run
+	// last resolved a choice point; a handoff's skip is sinceChoice-1,
+	// covering everything before the foreign state itself.
+	sinceChoice := 0
+	lastTaken := prefixLen
 	for k.Pending() > 0 {
 		if steps >= e.opts.MaxStepsPerRun {
 			out.stepsHit = true
@@ -575,10 +614,27 @@ func (e *explorer) execute(ck checker, ch *mcChooser, prefixLen int, track bool)
 			break
 		}
 		if track && len(ch.taken) >= prefixLen {
-			switch e.visited.visit(ck.canonicalFP(), ch.sleep.fps(), e.opts.MaxStates) {
-			case visitSeen:
+			if len(ch.taken) != lastTaken {
+				lastTaken = len(ch.taken)
+				sinceChoice = 0
+			}
+			sinceChoice++
+			if skipLeft > 0 {
+				skipLeft--
+				continue
+			}
+			fp := ck.canonicalFP()
+			if own >= 0 {
+				if to := statespace.Owner(fp, e.opts.DistParts); to != own {
+					out.handoff = &workItem{prefix: picksOf(ch.taken), sleep: ch.sleep, skip: sinceChoice - 1}
+					out.handoffTo = to
+					break
+				}
+			}
+			switch e.visited.Visit(fp, ch.sleep.fps(), e.opts.MaxStates) {
+			case statespace.OutcomeSeen:
 				out.truncated = true
-			case visitBudget:
+			case statespace.OutcomeBudget:
 				e.budget.Store(true)
 				out.budgetCut = true
 			}
@@ -587,7 +643,7 @@ func (e *explorer) execute(ck checker, ch *mcChooser, prefixLen int, track bool)
 			}
 		}
 	}
-	if out.violation == nil && !out.truncated && !out.blocked && !out.stepsHit && !out.budgetCut && k.Pending() == 0 {
+	if out.violation == nil && !out.truncated && !out.blocked && !out.stepsHit && !out.budgetCut && out.handoff == nil && k.Pending() == 0 {
 		out.violation = ck.quiescenceCheck()
 	}
 	out.taken = ch.taken
@@ -654,6 +710,10 @@ type passOut struct {
 	limitAny  bool
 	stepsAny  bool
 	canceled  bool
+	handoffs  int
+	// err is a store failure (spill I/O, checkpoint write); the pass
+	// stops at the frontier boundary that observed it.
+	err error
 }
 
 // ctxDone reports cooperative cancellation; checked only at frontier
@@ -668,16 +728,22 @@ func (e *explorer) ctxDone() bool {
 // race.
 func (e *explorer) report(runs, depth, frontier int) {
 	if e.opts.Progress != nil {
-		e.opts.Progress(Progress{States: e.visited.states(), Runs: runs, Depth: depth, Frontier: frontier})
+		e.opts.Progress(Progress{States: e.visited.States(), Runs: runs, Depth: depth, Frontier: frontier})
 	}
 }
 
-// pass runs one depth-bounded sequential DFS over choice sequences. Its
-// outcome — including which violation is found first — is a pure
-// function of the scenario and options (absent a Ctx cancellation).
-func (e *explorer) pass(depth int) passOut {
-	var out passOut
-	stack := []workItem{{}}
+// pass runs one depth-bounded sequential DFS over choice sequences,
+// starting from the given stack and carried counters (fresh ones on a
+// normal run, a checkpoint's on a resume). Its outcome — including which
+// violation is found first — is a pure function of the scenario,
+// options, and starting state (absent a Ctx cancellation), which is what
+// makes a resumed search byte-identical to an uninterrupted one.
+func (e *explorer) pass(depth int, stack []workItem, out passOut) passOut {
+	ckptEvery := 0
+	if e.opts.CheckpointDir != "" {
+		ckptEvery = e.opts.CheckpointEvery
+	}
+	sinceCkpt := 0
 	for len(stack) > 0 && !e.budget.Load() {
 		if e.ctxDone() {
 			out.canceled = true
@@ -694,7 +760,19 @@ func (e *explorer) pass(depth int) passOut {
 			return out
 		}
 		stack = append(stack, e.children(it, r)...)
+		if err := e.visited.Err(); err != nil {
+			out.err = err
+			return out
+		}
 		e.report(out.runs, depth, len(stack))
+		sinceCkpt++
+		if ckptEvery > 0 && sinceCkpt >= ckptEvery && len(stack) > 0 {
+			if err := e.checkpoint(depth, stack, &out); err != nil {
+				out.err = err
+				return out
+			}
+			sinceCkpt = 0
+		}
 	}
 	return out
 }
@@ -793,52 +871,113 @@ func Explore(sc Scenario, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	opts.fillDefaults()
-	res := exploreBounded(&sc, opts)
-	if opts.Workers > 1 && res.Violation != nil {
-		// Deterministic reporting: which violation a parallel pass trips
-		// first depends on worker scheduling, so re-derive the whole
-		// result with the sequential search. It finds a violation too
-		// (the parallel pass proved one reachable) unless the sequential
-		// order burns the state budget first; then fall back to
-		// minimizing the parallel pass's shortlex-least find.
+	res, err := exploreBounded(&sc, opts)
+	if err != nil {
+		return res, err
+	}
+	if (opts.Workers > 1 || opts.DistParts > 1) && res.Violation != nil {
+		// Deterministic reporting: which violation a parallel or
+		// distributed pass trips first depends on worker scheduling, so
+		// re-derive the whole result with the sequential search. It finds
+		// a violation too (the concurrent pass proved one reachable)
+		// unless the sequential order burns the state budget first; then
+		// fall back to minimizing the shortlex-least find. The
+		// re-derivation is memory-only: it must not disturb the primary
+		// search's store or checkpoint directories.
 		seq := opts
 		seq.Workers = 1
-		if sres := exploreBounded(&sc, seq); sres.Violation != nil {
+		seq.DistParts = 0
+		seq.StoreDir, seq.MemBudget, seq.CheckpointDir, seq.CheckpointEvery, seq.Resume = "", 0, "", 0, false
+		if sres, serr := exploreBounded(&sc, seq); serr == nil && sres.Violation != nil {
+			sres.Handoffs = res.Handoffs
 			res = sres
 		} else if !opts.NoMinimize {
-			e := newExplorer(&sc, opts)
+			e := newExplorer(&sc, seq)
 			res.Violation = e.minimize(res.Violation)
 		}
 	}
 	return res, nil
 }
 
-func exploreBounded(sc *Scenario, opts Options) Result {
+func exploreBounded(sc *Scenario, opts Options) (Result, error) {
 	e := &explorer{sc: sc, opts: opts, sh: newShared(sc, &opts), n: sc.N}
 	res := Result{Scenario: sc.Name}
+
+	ckptOn := opts.CheckpointDir != ""
+	if ckptOn && (opts.Workers > 1 || opts.DistParts > 1) {
+		return res, fmt.Errorf("mc: checkpointing requires a sequential search (workers=1, no distribution)")
+	}
+	e.scenH, e.optH = scenarioHash(sc), optionsHash(&opts)
+	cfg := statespace.Config{Dir: opts.StoreDir, MemBudget: opts.MemBudget, CheckpointDir: opts.CheckpointDir}
 
 	depth := opts.MaxDepth // 0 = unlimited: a single full-depth pass
 	if opts.DepthStep > 0 {
 		depth = opts.DepthStep
 	}
-	for {
-		e.visited = newVisitedSet()
-		e.budget.Store(false)
-		var p passOut
-		if opts.Workers > 1 {
-			p = e.passParallel(depth, opts.Workers)
-		} else {
-			p = e.pass(depth)
+	stack := []workItem{{}}
+	var init passOut
+	if opts.Resume && ckptOn {
+		st, meta, frontier, err := statespace.Resume(cfg, e.scenH, e.optH)
+		switch {
+		case err == nil:
+			e.visited = st
+			stack = frontierToItems(frontier)
+			depth = meta.Depth
+			e.restoreCounters(meta.Counters, &init)
+			res.TotalRuns = e.totalPrev
+			res.Resumed = true
+		case errors.Is(err, statespace.ErrNoCheckpoint):
+			// Nothing to resume; fall through to a fresh search.
+		case errors.Is(err, statespace.ErrCorrupt), errors.Is(err, statespace.ErrMismatch):
+			// A damaged or foreign checkpoint is detected, reported, and
+			// re-explored from scratch — never silently trusted.
+			res.ResumeNote = err.Error()
+			if cerr := statespace.Clear(cfg); cerr != nil {
+				return res, cerr
+			}
+		default:
+			return res, err
 		}
-		res.TotalRuns += p.runs
+	}
+	if e.visited == nil {
+		st, err := statespace.Open(cfg)
+		if err != nil {
+			return res, err
+		}
+		e.visited = st
+	}
+	defer e.visited.Close()
+
+	for {
+		var p passOut
+		switch {
+		case opts.Workers > 1:
+			p = e.passParallel(depth, opts.Workers)
+		case opts.DistParts > 1:
+			p = e.passDistributed(depth, opts.DistParts)
+		default:
+			p = e.pass(depth, stack, init)
+		}
+		if p.err == nil {
+			if serr := e.visited.Err(); serr != nil {
+				p.err = serr
+			}
+		}
+		res.TotalRuns = e.totalPrev + p.runs
 		res.Runs = p.runs
-		res.States = e.visited.states()
+		res.States = e.visited.States()
 		res.Depth = depth
 		res.BudgetHit = e.budget.Load()
 		res.FPRecomputes = e.fpRec.Load()
 		res.FPIncremental = e.fpInc.Load()
 		res.SCChecks = e.scRuns.Load()
 		res.SCUndecided = e.scUndec.Load()
+		res.Spills = e.visited.Spills()
+		res.DiskBytes = e.visited.DiskBytes()
+		res.Handoffs += p.handoffs
+		if p.err != nil {
+			return res, p.err
+		}
 		if sc.CheckSC {
 			switch {
 			case p.violation != nil && p.violation.Kind == "sc-total":
@@ -851,36 +990,45 @@ func exploreBounded(sc *Scenario, opts Options) Result {
 		}
 		if p.violation != nil {
 			v := p.violation
-			if opts.Workers <= 1 && !opts.NoMinimize {
+			if opts.Workers <= 1 && opts.DistParts <= 1 && !opts.NoMinimize {
 				v = e.minimize(v)
 			}
 			res.Violation = v
-			return res
+			return res, nil
 		}
 		if p.canceled {
 			res.Canceled = true
-			return res
+			return res, nil
 		}
 		if res.BudgetHit {
-			return res
+			return res, nil
 		}
 		if !p.limitAny && !p.stepsAny {
 			// No run was cut short: the bounded space is exhausted and
 			// deeper iterations would explore nothing new.
 			res.Exhausted = true
-			return res
+			return res, nil
 		}
 		atMax := opts.DepthStep == 0 || (opts.MaxDepth > 0 && depth >= opts.MaxDepth)
 		if atMax || !p.limitAny {
 			// Some run was cut by the step guard (or the final depth):
 			// the space was not fully covered, and deepening further
 			// would not change that.
-			return res
+			return res, nil
 		}
 		depth += opts.DepthStep
 		if opts.MaxDepth > 0 && depth > opts.MaxDepth {
 			depth = opts.MaxDepth
 		}
+		// Next deepening iteration: fresh table (run files included),
+		// fresh frontier, carried TotalRuns.
+		e.totalPrev = res.TotalRuns
+		if err := e.visited.Reset(); err != nil {
+			return res, err
+		}
+		e.budget.Store(false)
+		stack = []workItem{{}}
+		init = passOut{}
 	}
 }
 
@@ -889,7 +1037,7 @@ func exploreBounded(sc *Scenario, opts Options) Result {
 func (e *explorer) replayRun(prefix []int) runOut {
 	ck := newChecker(e.sc, e.sh)
 	ch := replayChooser(ck, e.n, prefix, &e.opts)
-	return e.execute(ck, ch, len(prefix), false)
+	return e.execute(ck, ch, len(prefix), false, -1, 0)
 }
 
 // minimize greedily shrinks a counterexample: repeatedly lower the

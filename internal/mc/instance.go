@@ -404,7 +404,9 @@ func (m *mixer) word(v uint64) {
 
 // canonicalFP fingerprints the machine AND driver state (program
 // counters, lock bookkeeping, remaining programs), minimized over all
-// row relabelings. The sequential-consistency witness history is
+// row relabelings crossed with the admissible column relabelings
+// (those fixing every home column the programs use — see colsym.go).
+// The sequential-consistency witness history is
 // deliberately excluded: it grows monotonically and is checked along
 // every execution rather than treated as state (write values are unique,
 // so distinct histories almost always differ in machine state anyway).
@@ -422,13 +424,16 @@ func (in *instance) canonicalFP() uint64 {
 	}
 	in.fpc.BeginPoint(in.extraRow)
 	in.refreshDriver()
+	nc := len(in.sh.cperms)
 	best := ^uint64(0)
-	for i, perm := range in.sh.perms {
-		m := newMixer()
-		m.word(in.fpc.FP(perm, in.sh.invs[i]))
-		m.word(in.driverCombine(i, perm, in.drvH))
-		if fp := uint64(m); fp < best {
-			best = fp
+	for ri, perm := range in.sh.perms {
+		for ci, cperm := range in.sh.cperms {
+			m := newMixer()
+			m.word(in.fpc.FPRC(perm, in.sh.invs[ri], cperm, in.sh.cinvs[ci]))
+			m.word(in.driverCombine(ri*nc+ci, perm, cperm, in.drvH))
+			if fp := uint64(m); fp < best {
+				best = fp
+			}
 		}
 	}
 	if in.sh.checkFP {
@@ -438,17 +443,16 @@ func (in *instance) canonicalFP() uint64 {
 }
 
 // extraRow describes driver step events to FPCache: the issuer's
-// physical row plus a row-independent remainder hash.
-func (in *instance) extraRow(tag any) (int, uint64, bool) {
-	st, ok := tag.(stepTag)
-	if !ok {
-		return 0, 0, false
+// physical coordinates plus a placement-independent remainder hash.
+func (in *instance) extraRow(tag any) (row, col int, rest uint64, ok bool) {
+	st, isStep := tag.(stepTag)
+	if !isStep {
+		return 0, 0, 0, false
 	}
 	at := in.sc.Procs[st.proc].At
 	m := newMixer()
-	m.word(uint64(at.Col))
 	m.word(uint64(st.step))
-	return at.Row, uint64(m), true
+	return at.Row, at.Col, uint64(m), true
 }
 
 // driverHash computes one processor's driver-state hash: program
@@ -477,13 +481,14 @@ func (in *instance) refreshDriver() {
 }
 
 // driverCombine folds the per-processor driver hashes in canonical
-// (permuted row, col) order — precomputed per relabeling in shared.
-func (in *instance) driverCombine(permIdx int, perm []int, drvH []uint64) uint64 {
+// (permuted row, permuted col) order — precomputed per relabeling pair
+// in shared (permIdx = ri*len(cperms)+ci).
+func (in *instance) driverCombine(permIdx int, perm, cperm []int, drvH []uint64) uint64 {
 	m := newMixer()
 	for _, p := range in.sh.procOrder[permIdx] {
 		at := in.sc.Procs[p].At
 		m.word(uint64(perm[at.Row]))
-		m.word(uint64(at.Col))
+		m.word(uint64(cperm[at.Col]))
 		m.word(drvH[p])
 	}
 	return uint64(m)
@@ -502,13 +507,16 @@ func (in *instance) crossCheckFP(got uint64) {
 			panic(fmt.Sprintf("mc: stale incremental driver hash for proc %d: cached %#x, recomputed %#x", p, in.drvH[p], drv[p]))
 		}
 	}
+	nc := len(in.sh.cperms)
 	best := ^uint64(0)
-	for i, perm := range in.sh.perms {
-		m := newMixer()
-		m.word(fresh.FP(perm, in.sh.invs[i]))
-		m.word(in.driverCombine(i, perm, drv))
-		if fp := uint64(m); fp < best {
-			best = fp
+	for ri, perm := range in.sh.perms {
+		for ci, cperm := range in.sh.cperms {
+			m := newMixer()
+			m.word(fresh.FPRC(perm, in.sh.invs[ri], cperm, in.sh.cinvs[ci]))
+			m.word(in.driverCombine(ri*nc+ci, perm, cperm, drv))
+			if fp := uint64(m); fp < best {
+				best = fp
+			}
 		}
 	}
 	if best != got {
@@ -522,30 +530,32 @@ func (in *instance) crossCheckFP(got uint64) {
 func (in *instance) canonicalFPLegacy() uint64 {
 	best := ^uint64(0)
 	for _, perm := range in.sh.perms {
-		perm := perm
-		extra := func(tag any) (uint64, bool) {
-			st, ok := tag.(stepTag)
-			if !ok {
-				return 0, false
+		for _, cperm := range in.sh.cperms {
+			perm, cperm := perm, cperm
+			extra := func(tag any) (uint64, bool) {
+				st, ok := tag.(stepTag)
+				if !ok {
+					return 0, false
+				}
+				at := in.sc.Procs[st.proc].At
+				m := newMixer()
+				m.word(uint64(perm[at.Row]))
+				m.word(uint64(cperm[at.Col]))
+				m.word(uint64(st.step))
+				return uint64(m), true
 			}
-			at := in.sc.Procs[st.proc].At
 			m := newMixer()
-			m.word(uint64(perm[at.Row]))
-			m.word(uint64(at.Col))
-			m.word(uint64(st.step))
-			return uint64(m), true
-		}
-		m := newMixer()
-		m.word(in.sys.Fingerprint(perm, extra))
-		m.word(in.driverFP(perm))
-		if fp := uint64(m); fp < best {
-			best = fp
+			m.word(in.sys.FingerprintRC(perm, cperm, extra))
+			m.word(in.driverFP(perm, cperm))
+			if fp := uint64(m); fp < best {
+				best = fp
+			}
 		}
 	}
 	return best
 }
 
-func (in *instance) driverFP(perm []int) uint64 {
+func (in *instance) driverFP(perm, cperm []int) uint64 {
 	type ent struct {
 		r, c int
 		fp   uint64
@@ -562,7 +572,7 @@ func (in *instance) driverFP(perm []int) uint64 {
 		for _, l := range in.held[p] { // already sorted
 			m.word(l)
 		}
-		ents = append(ents, ent{r: perm[pr.At.Row], c: pr.At.Col, fp: uint64(m)})
+		ents = append(ents, ent{r: perm[pr.At.Row], c: cperm[pr.At.Col], fp: uint64(m)})
 	}
 	sort.Slice(ents, func(i, j int) bool {
 		if ents[i].r != ents[j].r {

@@ -21,9 +21,14 @@ import (
 //     so invalidations and replies for x and y cross independent buses.
 //   - litmus-<name>-1col: variable v on line 2v — one shared home
 //     column, serializing both variables' memory traffic.
+//   - litmus-<name>-3x3:  variable v on line 3v on a 3×3 grid — one
+//     shared home column with two columns the programs never home on,
+//     exercising the checker's conditional column symmetry (6 row
+//     relabelings × 2 column relabelings) on a machine whose state
+//     space dwarfs the 2×2 presets'.
 //
-// Single-variable tests (corr, coww) have nothing to place apart and get
-// one preset each.
+// Single-variable tests (corr, coww) have nothing to place apart and
+// skip -1col (the -3x3 placement still applies).
 //
 // Every test additionally compiles to the single-bus baseline, where the
 // atomic bus makes placement moot: litmus-<name>-sb runs Goodman's
@@ -32,6 +37,9 @@ import (
 // verdicts on the same program are directly comparable.
 
 const litmusSameColSuffix = "-1col"
+
+// litmus3x3Suffix selects the 3×3-grid single-home-column placement.
+const litmus3x3Suffix = "-3x3"
 
 // Single-bus litmus suffixes; checked after -1col so the two families
 // cannot combine.
@@ -47,6 +55,13 @@ var litmusCoords = []topology.Coord{
 	{Row: 0, Col: 0}, {Row: 1, Col: 1}, {Row: 0, Col: 1}, {Row: 1, Col: 0},
 }
 
+// litmus3x3Coords places threads on the 3×3 grid along the diagonal
+// first, so the classic two-thread tests share no bus at all; the
+// fourth thread (iriw) necessarily shares a row with the first.
+var litmus3x3Coords = []topology.Coord{
+	{Row: 0, Col: 0}, {Row: 1, Col: 1}, {Row: 2, Col: 2}, {Row: 0, Col: 1},
+}
+
 // litmusPresetNames lists the litmus-* preset names, in the library's
 // stable order.
 func litmusPresetNames() []string {
@@ -56,6 +71,7 @@ func litmusPresetNames() []string {
 		if l.Vars >= 2 {
 			out = append(out, "litmus-"+l.Name+litmusSameColSuffix)
 		}
+		out = append(out, "litmus-"+l.Name+litmus3x3Suffix)
 		out = append(out,
 			"litmus-"+l.Name+litmusSBSuffix,
 			"litmus-"+l.Name+litmusSBMESISuffix)
@@ -75,21 +91,32 @@ func litmusPreset(name string) (Scenario, bool) {
 	if !singleBus {
 		base, singleBus = strings.CutSuffix(base, litmusSBSuffix)
 	}
-	var sameCol bool
+	var sameCol, grid3 bool
 	if !singleBus {
 		base, sameCol = strings.CutSuffix(base, litmusSameColSuffix)
+		if !sameCol {
+			base, grid3 = strings.CutSuffix(base, litmus3x3Suffix)
+		}
 	}
 	l, ok := memmodel.LitmusByName(base)
 	if !ok || len(l.Procs) > len(litmusCoords) || (sameCol && l.Vars < 2) {
 		return Scenario{}, false
 	}
 	line := func(v int) uint64 {
-		if sameCol {
+		switch {
+		case grid3:
+			return uint64(3 * v)
+		case sameCol:
 			return uint64(2 * v)
 		}
 		return uint64(v)
 	}
 	sc := Scenario{Name: name, N: 2, CheckSC: true}
+	coords := litmusCoords
+	if grid3 {
+		sc.N = 3
+		coords = litmus3x3Coords
+	}
 	if singleBus {
 		sc.SingleBus = true
 		if mesi {
@@ -97,7 +124,7 @@ func litmusPreset(name string) (Scenario, bool) {
 		}
 	}
 	for p, prog := range l.Procs {
-		pr := Proc{At: litmusCoords[p]}
+		pr := Proc{At: coords[p]}
 		for _, op := range prog {
 			kind := OpRead
 			if op.Write {

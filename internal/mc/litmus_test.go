@@ -9,21 +9,28 @@ import (
 // TestLitmusPresetsSC explores the litmus-* presets to completion and
 // requires a clean SC verdict from the cross-address checker on every
 // interleaving's history. Per-preset cost varies by orders of magnitude,
-// so the heavier two-variable tests hide behind -short and the
-// four-thread iriw pair (≈1.2M states, minutes each) behind
-// MC_LITMUS_EXHAUSTIVE=1; EXPERIMENTS.md records their full-run numbers.
+// so the heavier two-variable tests hide behind -short, and the
+// four-thread iriw family (1.2M–4.1M states, minutes to half an hour)
+// plus the six-bus sb/wrc grids (~100–150k states, minutes on one core)
+// behind MC_LITMUS_EXHAUSTIVE=1; EXPERIMENTS.md records their full-run
+// numbers.
 func TestLitmusPresetsSC(t *testing.T) {
 	for _, name := range litmusPresetNames() {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			base := strings.TrimSuffix(strings.TrimPrefix(name, "litmus-"), litmusSameColSuffix)
+			base = strings.TrimSuffix(base, litmus3x3Suffix)
 			switch base {
 			case "iriw":
 				if os.Getenv("MC_LITMUS_EXHAUSTIVE") == "" {
-					t.Skip("iriw needs ~1.2M states (minutes); set MC_LITMUS_EXHAUSTIVE=1")
+					t.Skip("iriw needs 1.2M–4.1M states (minutes to half an hour); set MC_LITMUS_EXHAUSTIVE=1")
 				}
 			case "sb", "wrc":
-				if testing.Short() {
+				if strings.HasSuffix(name, litmus3x3Suffix) {
+					if os.Getenv("MC_LITMUS_EXHAUSTIVE") == "" {
+						t.Skip("six-bus grid takes minutes; set MC_LITMUS_EXHAUSTIVE=1 (colsym_test covers the small 3x3 presets)")
+					}
+				} else if testing.Short() {
 					t.Skip("heavier litmus preset; run without -short")
 				}
 			}
@@ -31,7 +38,7 @@ func TestLitmusPresetsSC(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := Explore(sc, Options{MaxStates: 2_000_000, Workers: 2})
+			res, err := Explore(sc, Options{MaxStates: 5_000_000, Workers: 2})
 			if err != nil {
 				t.Fatal(err)
 			}

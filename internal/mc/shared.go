@@ -18,10 +18,17 @@ import (
 type shared struct {
 	perms [][]int
 	invs  [][]int
+	// cperms/cinvs are the admissible column relabelings (grid scenarios
+	// only): every permutation fixing the home column of each line the
+	// programs name. SingleBus scenarios, and grids whose programs touch
+	// every home column, get just the identity.
+	cperms [][]int
+	cinvs  [][]int
 	// procOrder, for grid scenarios, lists processor indices in canonical
-	// (permuted row, col) order per relabeling — the sort the legacy
-	// driver fingerprint performed per call. Unused for SingleBus
-	// scenarios, where canonical order is inv itself.
+	// (permuted row, permuted col) order per (row, column) relabeling
+	// pair, indexed ri*len(cperms)+ci — the sort the legacy driver
+	// fingerprint performed per call. Unused for SingleBus scenarios,
+	// where canonical order is inv itself.
 	procOrder [][]int
 	// progH is each processor's static program hash (op kinds and lines).
 	progH []uint64
@@ -80,21 +87,32 @@ func newShared(sc *Scenario, opts *Options) *shared {
 		}
 	}
 	if !sc.SingleBus {
-		sh.procOrder = make([][]int, len(sh.perms))
-		for i, perm := range sh.perms {
-			order := make([]int, len(sc.Procs))
-			for p := range order {
-				order[p] = p
+		sh.cperms = colPermutations(n, usedHomeColumns(sc))
+		sh.cinvs = make([][]int, len(sh.cperms))
+		for i, cperm := range sh.cperms {
+			cinv := make([]int, len(cperm))
+			for phys, canon := range cperm {
+				cinv[canon] = phys
 			}
-			sort.SliceStable(order, func(a, b int) bool {
-				pa, pb := sc.Procs[order[a]].At, sc.Procs[order[b]].At
-				ra, rb := perm[pa.Row], perm[pb.Row]
-				if ra != rb {
-					return ra < rb
+			sh.cinvs[i] = cinv
+		}
+		sh.procOrder = make([][]int, len(sh.perms)*len(sh.cperms))
+		for ri, perm := range sh.perms {
+			for ci, cperm := range sh.cperms {
+				order := make([]int, len(sc.Procs))
+				for p := range order {
+					order[p] = p
 				}
-				return pa.Col < pb.Col
-			})
-			sh.procOrder[i] = order
+				sort.SliceStable(order, func(a, b int) bool {
+					pa, pb := sc.Procs[order[a]].At, sc.Procs[order[b]].At
+					ra, rb := perm[pa.Row], perm[pb.Row]
+					if ra != rb {
+						return ra < rb
+					}
+					return cperm[pa.Col] < cperm[pb.Col]
+				})
+				sh.procOrder[ri*len(sh.cperms)+ci] = order
+			}
 		}
 	}
 	return sh

@@ -1,0 +1,321 @@
+package mc
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// comparable strips the fields a resumed or disk-backed Result
+// legitimately differs in: Resumed/ResumeNote report provenance, and
+// Spills/DiskBytes depend on the memory budget and on how many
+// checkpoints forced flushes. Everything else — verdict, state count,
+// counterexample, all search counters — must be byte-identical.
+func comparable(r Result) Result {
+	r.Resumed = false
+	r.ResumeNote = ""
+	r.Spills = 0
+	r.DiskBytes = 0
+	return r
+}
+
+// TestStoreSpillEquivalence forces the visited table through the disk
+// tier with a memory budget far below the space's footprint and requires
+// the exact Result of the unbounded in-memory search.
+func TestStoreSpillEquivalence(t *testing.T) {
+	// Budgets far below each space's hot-tier footprint (~64 bytes/state).
+	budgets := map[string]int64{"read-race": 8 << 10, "sb-writeonce-race": 1 << 10}
+	for _, name := range []string{"read-race", "sb-writeonce-race"} {
+		sc, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, err := Explore(sc, Options{MaxStates: 400000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		disk, err := Explore(sc, Options{MaxStates: 400000, StoreDir: t.TempDir(), MemBudget: budgets[name]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if disk.Spills == 0 {
+			t.Fatalf("%s: 8KiB budget produced no spills; the disk tier was never exercised", name)
+		}
+		if !reflect.DeepEqual(comparable(mem), comparable(disk)) {
+			t.Fatalf("%s: spilled result differs from in-memory:\n  mem:  %+v\n  disk: %+v", name, mem, disk)
+		}
+		t.Logf("%s: %d states identical across %d spills (%d bytes on disk)",
+			name, disk.States, disk.Spills, disk.DiskBytes)
+	}
+}
+
+// crashPanic is the sentinel the in-process fault hook throws; the test
+// recovers it to simulate dying mid-search without taking the process
+// down.
+type crashPanic struct{}
+
+// TestCrashResumeInProcess kills an exploration at randomized checkpoint
+// boundaries via the in-process fault hook, resumes it, and requires the
+// final Result byte-identical to an uninterrupted run — for both a clean
+// scenario and one with the injected §5.6a bug (so the counterexample
+// path is covered too).
+func TestCrashResumeInProcess(t *testing.T) {
+	for _, inject := range []bool{false, true} {
+		sc, err := Preset("read-race")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.InjectStaleReply = inject
+		base, err := Explore(sc, Options{MaxStates: 400000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Kill after 1, 3, and 7 checkpoints: early, mid, and late
+		// boundaries relative to the ~33 (clean) and ~13 (injected)
+		// checkpoint opportunities read-race offers at every=100.
+		for _, killAfter := range []int{1, 3, 7} {
+			dir := t.TempDir()
+			opts := Options{MaxStates: 400000, CheckpointDir: dir, CheckpointEvery: 100}
+			crashed := false
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(crashPanic); !ok {
+							panic(r)
+						}
+						crashed = true
+					}
+				}()
+				seen := 0
+				o := opts
+				o.faultHook = func(point string) {
+					if point == "post-checkpoint" {
+						if seen++; seen >= killAfter {
+							panic(crashPanic{})
+						}
+					}
+				}
+				if _, err := Explore(sc, o); err != nil {
+					t.Errorf("inject=%v kill=%d: pre-crash explore: %v", inject, killAfter, err)
+				}
+			}()
+			if !crashed {
+				t.Fatalf("inject=%v kill=%d: search finished before the fault hook fired", inject, killAfter)
+			}
+			o := opts
+			o.Resume = true
+			res, err := Explore(sc, o)
+			if err != nil {
+				t.Fatalf("inject=%v kill=%d: resume: %v", inject, killAfter, err)
+			}
+			if !res.Resumed {
+				t.Fatalf("inject=%v kill=%d: resumed run did not report Resumed", inject, killAfter)
+			}
+			if !reflect.DeepEqual(comparable(base), comparable(res)) {
+				t.Fatalf("inject=%v kill=%d: resumed result differs:\n  base:    %+v\n  resumed: %+v",
+					inject, killAfter, base, res)
+			}
+		}
+	}
+}
+
+// TestCrashResumeProcessKill is the process-level half of the crash
+// layer: a child test process SIGKILLs itself at a checkpoint boundary —
+// no deferred cleanup, no atexit, exactly what a crashed or OOM-killed
+// run leaves behind — and the parent resumes from its droppings.
+func TestCrashResumeProcessKill(t *testing.T) {
+	if os.Getenv("MC_CRASH_DIR") != "" {
+		// Child mode: explore with a hook that SIGKILLs this process
+		// after MC_CRASH_AFTER checkpoints.
+		sc, err := Preset("read-race")
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, _ := strconv.Atoi(os.Getenv("MC_CRASH_AFTER"))
+		seen := 0
+		_, err = Explore(sc, Options{
+			MaxStates:       400000,
+			CheckpointDir:   os.Getenv("MC_CRASH_DIR"),
+			CheckpointEvery: 200,
+			faultHook: func(point string) {
+				if point == "post-checkpoint" {
+					if seen++; seen >= after {
+						_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+						select {} // unreachable; SIGKILL is not deliverable to a handler
+					}
+				}
+			},
+		})
+		t.Fatalf("child survived its own SIGKILL (explore err %v)", err)
+	}
+
+	sc, err := Preset("read-race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Explore(sc, Options{MaxStates: 400000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashResumeProcessKill$", "-test.v")
+	cmd.Env = append(os.Environ(), "MC_CRASH_DIR="+dir, "MC_CRASH_AFTER=2")
+	out, err := cmd.CombinedOutput()
+	var ee *exec.ExitError
+	if err == nil {
+		t.Fatalf("child exited cleanly; expected SIGKILL. Output:\n%s", out)
+	} else if !errors.As(err, &ee) {
+		t.Fatalf("child: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "MANIFEST.json")); err != nil {
+		t.Fatalf("child left no checkpoint manifest: %v\n%s", err, out)
+	}
+	res, err := Explore(sc, Options{MaxStates: 400000, CheckpointDir: dir, CheckpointEvery: 200, Resume: true})
+	if err != nil {
+		t.Fatalf("resume after SIGKILL: %v", err)
+	}
+	if !res.Resumed {
+		t.Fatal("resume after SIGKILL did not report Resumed")
+	}
+	if !reflect.DeepEqual(comparable(base), comparable(res)) {
+		t.Fatalf("post-SIGKILL resume differs:\n  base:    %+v\n  resumed: %+v", base, res)
+	}
+}
+
+// TestResumeDetectsCorruption truncates a spilled shard under a valid
+// manifest and requires resume to refuse the damage, report it, and
+// re-explore from scratch to the correct result.
+func TestResumeDetectsCorruption(t *testing.T) {
+	sc, err := Preset("read-race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Explore(sc, Options{MaxStates: 400000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	opts := Options{MaxStates: 400000, CheckpointDir: dir, CheckpointEvery: 200, MemBudget: 8 << 10}
+	// Crash once mid-run so a checkpoint with spilled shards exists.
+	func() {
+		defer func() { recover() }()
+		o := opts
+		o.faultHook = func(p string) {
+			if p == "post-checkpoint" {
+				panic(crashPanic{})
+			}
+		}
+		_, _ = Explore(sc, o)
+	}()
+	runs, err := filepath.Glob(filepath.Join(dir, "*.run"))
+	if err != nil || len(runs) == 0 {
+		t.Fatalf("no spilled shards to corrupt (err %v)", err)
+	}
+	data, err := os.ReadFile(runs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(runs[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := opts
+	o.Resume = true
+	res, err := Explore(sc, o)
+	if err != nil {
+		t.Fatalf("resume over corruption: %v", err)
+	}
+	if res.Resumed {
+		t.Fatal("resume accepted a truncated shard")
+	}
+	if !strings.Contains(res.ResumeNote, "corrupt") {
+		t.Fatalf("ResumeNote %q does not report the corruption", res.ResumeNote)
+	}
+	if !reflect.DeepEqual(comparable(base), comparable(res)) {
+		t.Fatalf("re-exploration after corruption differs:\n  base: %+v\n  got:  %+v", base, res)
+	}
+}
+
+// TestDistributedSameVerdict splits the search across fingerprint-range
+// partitions and requires the sequential verdict, state count, and — on
+// the injected bug — the identical minimized counterexample.
+func TestDistributedSameVerdict(t *testing.T) {
+	for _, inject := range []bool{false, true} {
+		sc, err := Preset("read-race")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.InjectStaleReply = inject
+		seq, err := Explore(sc, Options{MaxStates: 400000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, err := Explore(sc, Options{MaxStates: 400000, DistParts: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (seq.Violation == nil) != (dist.Violation == nil) {
+			t.Fatalf("inject=%v: seq violation=%v, dist violation=%v", inject, seq.Violation, dist.Violation)
+		}
+		if inject {
+			if !reflect.DeepEqual(seq.Violation.Choices, dist.Violation.Choices) {
+				t.Fatalf("minimized counterexamples differ:\n  seq:  %v\n  dist: %v",
+					seq.Violation.Choices, dist.Violation.Choices)
+			}
+			continue
+		}
+		if seq.Exhausted != dist.Exhausted || seq.States != dist.States {
+			t.Fatalf("distributed coverage differs: seq states=%d exhausted=%v, dist states=%d exhausted=%v",
+				seq.States, seq.Exhausted, dist.States, dist.Exhausted)
+		}
+		if dist.Handoffs == 0 {
+			t.Fatal("distributed run performed no handoffs; the partition was never crossed")
+		}
+		t.Logf("dist-parts=3: %d states (= sequential), %d handoffs", dist.States, dist.Handoffs)
+	}
+}
+
+// TestCheckpointRejectsParallel pins the guard: checkpointing composes
+// only with the sequential pass whose frontier boundaries it snapshots.
+func TestCheckpointRejectsParallel(t *testing.T) {
+	sc, err := Preset("read-race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		{CheckpointDir: t.TempDir(), Workers: 4},
+		{CheckpointDir: t.TempDir(), DistParts: 2},
+	} {
+		if _, err := Explore(sc, opts); err == nil {
+			t.Fatalf("options %+v: checkpointing with a concurrent pass was accepted", opts)
+		}
+	}
+}
+
+// TestResumeNothingToResume pins the fresh-start path: -resume with an
+// empty checkpoint directory runs normally with Resumed=false.
+func TestResumeNothingToResume(t *testing.T) {
+	sc, err := Preset("read-race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Explore(sc, Options{MaxStates: 400000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Explore(sc, Options{MaxStates: 400000, CheckpointDir: t.TempDir(), Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed {
+		t.Fatal("Resumed reported with nothing to resume")
+	}
+	if !reflect.DeepEqual(comparable(base), comparable(res)) {
+		t.Fatalf("fresh checkpointed run differs from plain run:\n  base: %+v\n  got:  %+v", base, res)
+	}
+}

@@ -1,0 +1,54 @@
+package statespace
+
+// bloom is a fixed-size membership filter over fingerprints, built at
+// run-write time and persisted inside the run file, so an absent-key
+// probe against a spilled shard almost never touches the index. Sized at
+// ~12 bits per key with 4 probes the false-positive rate is well under
+// 1%, and a false positive costs only a wasted binary search.
+type bloom struct {
+	words []uint64
+}
+
+const bloomProbes = 4
+
+func newBloom(keys int) bloom {
+	words := (12*keys + 63) / 64
+	if words < 1 {
+		words = 1
+	}
+	return bloom{words: make([]uint64, words)}
+}
+
+// probeSeq derives two independent probe streams from one fingerprint
+// (double hashing); the fingerprints are already uniform, so cheap
+// multiplicative mixing suffices.
+func probeSeq(fp uint64) (h1, h2 uint64) {
+	h1 = fp * 0x9e3779b97f4a7c15
+	h2 = (fp ^ h1>>32) * 0xff51afd7ed558ccd
+	h2 |= 1 // odd stride so every probe moves
+	return
+}
+
+func (b *bloom) add(fp uint64) {
+	bits := uint64(len(b.words)) * 64
+	h1, h2 := probeSeq(fp)
+	for i := 0; i < bloomProbes; i++ {
+		bit := (h1 + uint64(i)*h2) % bits
+		b.words[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+func (b *bloom) has(fp uint64) bool {
+	if len(b.words) == 0 {
+		return false
+	}
+	bits := uint64(len(b.words)) * 64
+	h1, h2 := probeSeq(fp)
+	for i := 0; i < bloomProbes; i++ {
+		bit := (h1 + uint64(i)*h2) % bits
+		if b.words[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

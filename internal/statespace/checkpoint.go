@@ -1,0 +1,418 @@
+package statespace
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Checkpoints snapshot one exploration at a frontier boundary: every
+// shard flushed to immutable runs, the DFS frontier serialized, and a
+// manifest naming both with their checksums, renamed into place last so
+// the newest complete checkpoint is always the one a resume sees. A
+// crash between any two steps leaves either the previous manifest or the
+// new one — never a torn state — and orphaned files from the loser are
+// swept on the next checkpoint or resume.
+//
+// Nothing in a checkpoint derives from the wall clock: files are named
+// by a store-local sequence number and the manifest carries only
+// search-state counters, which is what makes a resumed run's verdict,
+// state count, and counterexample byte-identical to an uninterrupted
+// one.
+
+const (
+	manifestName   = "MANIFEST.json"
+	manifestSchema = 1
+	frontierSuffix = ".ssf"
+	frontierMagic  = 0x4d43_5353_4652_3031 // "MCSSFR01" read as a LE word
+)
+
+// ErrNoCheckpoint reports that the checkpoint directory holds no
+// manifest (nothing to resume; start fresh).
+var ErrNoCheckpoint = errors.New("statespace: no checkpoint")
+
+// ErrCorrupt reports a manifest, frontier, or run that fails validation;
+// callers are expected to fall back to a fresh exploration.
+var ErrCorrupt = errors.New("statespace: corrupt checkpoint")
+
+// ErrMismatch reports a well-formed checkpoint for a different scenario
+// or different exploration options.
+var ErrMismatch = errors.New("statespace: checkpoint does not match this exploration")
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Meta is the resumable search state beyond the visited table itself.
+// The counters map is caller-defined (the explorer stores its run and
+// fingerprint statistics); JSON renders it with sorted keys, keeping the
+// manifest bytes deterministic.
+type Meta struct {
+	// ScenarioHash and OptionsHash pin the checkpoint to one exploration;
+	// Resume refuses a mismatch rather than silently mixing state spaces.
+	ScenarioHash string            `json:"scenario_hash"`
+	OptionsHash  string            `json:"options_hash"`
+	Depth        int               `json:"depth"`
+	Counters     map[string]uint64 `json:"counters,omitempty"`
+}
+
+// FrontierItem is one pending DFS work item in serialized form: the
+// choice prefix, the sleep set activating after its replay (as the
+// transition fingerprints internal/mc reconstructs), and the number of
+// already-processed tracked states to skip (distributed handoffs).
+type FrontierItem struct {
+	Prefix []int
+	Sleep  []uint64
+	Skip   int
+}
+
+type manifest struct {
+	Schema      int    `json:"schema"`
+	Seq         uint64 `json:"seq"`
+	Meta        Meta   `json:"meta"`
+	States      int64  `json:"states"`
+	Spills      int64  `json:"spills"`
+	Frontier    string `json:"frontier"`
+	FrontierSum string `json:"frontier_sum"`
+	// Shards lists every shard with on-disk runs, oldest run first
+	// (lookup order is newest-wins).
+	Shards []manifestShard `json:"shards,omitempty"`
+}
+
+type manifestShard struct {
+	Shard int           `json:"shard"`
+	Runs  []manifestRun `json:"runs"`
+}
+
+type manifestRun struct {
+	File  string `json:"file"`
+	Sum   string `json:"sum"`
+	Count int64  `json:"count"`
+}
+
+// WriteCheckpoint atomically persists the store plus the given frontier
+// and metadata. The caller must be quiescent (the sequential explorer
+// checkpoints only between runs).
+func (s *Store) WriteCheckpoint(meta Meta, frontier []FrontierItem) error {
+	if s.cfg.CheckpointDir == "" || s.cfg.Dir == "" {
+		return errors.New("statespace: checkpointing requires spill and checkpoint directories")
+	}
+	// Flush every dirty shard so the run stacks alone reproduce the
+	// table; clean shards (gen unmoved since their last spill) keep their
+	// existing runs.
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		dirty := len(sh.hot) > 0
+		sh.mu.Unlock()
+		if dirty {
+			if err := s.spillShard(i); err != nil {
+				return err
+			}
+		}
+	}
+	seq := s.seq.Add(1)
+	frontierFile := fmt.Sprintf("frontier-%06d%s", seq, frontierSuffix)
+	fsum, err := writeFrontier(filepath.Join(s.cfg.CheckpointDir, frontierFile), frontier)
+	if err != nil {
+		return err
+	}
+	m := manifest{
+		Schema:      manifestSchema,
+		Seq:         seq,
+		Meta:        meta,
+		States:      s.count.Load(),
+		Spills:      s.spills.Load(),
+		Frontier:    frontierFile,
+		FrontierSum: fmt.Sprintf("%016x", fsum),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if len(sh.runs) > 0 {
+			ms := manifestShard{Shard: i}
+			for _, r := range sh.runs {
+				ms.Runs = append(ms.Runs, manifestRun{
+					File:  filepath.Base(r.path),
+					Sum:   fmt.Sprintf("%016x", r.sum),
+					Count: r.count,
+				})
+			}
+			m.Shards = append(m.Shards, ms)
+		}
+		sh.mu.Unlock()
+	}
+	data, err := json.MarshalIndent(&m, "", " ")
+	if err != nil {
+		return fmt.Errorf("statespace: manifest: %w", err)
+	}
+	path := filepath.Join(s.cfg.CheckpointDir, manifestName)
+	tmp, err := os.CreateTemp(s.cfg.CheckpointDir, "manifest.tmp*")
+	if err != nil {
+		return fmt.Errorf("statespace: manifest: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("statespace: manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("statespace: manifest: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("statespace: manifest: %w", err)
+	}
+	keep := make(map[string]bool)
+	keep[m.Frontier] = true
+	for _, ms := range m.Shards {
+		for _, r := range ms.Runs {
+			keep[r.File] = true
+		}
+	}
+	// The renamed manifest is now the one a resume sees: its files are
+	// the new pinned set, and everything else — including runs a
+	// compaction retired but could not unlink while the previous
+	// manifest named them — is garbage.
+	s.setPinned(keep)
+	return s.gc(keep)
+}
+
+// gc removes run and frontier files the manifest no longer references
+// (compacted inputs, superseded frontiers). Safe after the rename: the
+// durable manifest names only survivors.
+func (s *Store) gc(keep map[string]bool) error {
+	for _, dir := range []string{s.cfg.Dir, s.cfg.CheckpointDir} {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("statespace: gc: %w", err)
+		}
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || keep[name] {
+				continue
+			}
+			if strings.HasSuffix(name, runSuffix) || strings.HasSuffix(name, frontierSuffix) {
+				if err := os.Remove(filepath.Join(dir, name)); err != nil {
+					return fmt.Errorf("statespace: gc: %w", err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Resume reopens a checkpointed store. The scenario and options hashes
+// must match the manifest's; every run and the frontier must validate.
+// On success the returned store serves Visit from the checkpoint's runs
+// and the frontier items reconstruct the DFS stack.
+func Resume(cfg Config, scenarioHash, optionsHash string) (*Store, Meta, []FrontierItem, error) {
+	if cfg.CheckpointDir == "" || cfg.Dir == "" {
+		return nil, Meta{}, nil, errors.New("statespace: resume requires spill and checkpoint directories")
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.CheckpointDir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, Meta{}, nil, ErrNoCheckpoint
+		}
+		return nil, Meta{}, nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, Meta{}, nil, corrupt("manifest: %v", err)
+	}
+	if m.Schema != manifestSchema {
+		return nil, Meta{}, nil, corrupt("manifest schema %d, want %d", m.Schema, manifestSchema)
+	}
+	if m.Meta.ScenarioHash != scenarioHash || m.Meta.OptionsHash != optionsHash {
+		return nil, Meta{}, nil, fmt.Errorf("%w: checkpoint is for scenario %s options %s",
+			ErrMismatch, m.Meta.ScenarioHash, m.Meta.OptionsHash)
+	}
+	s := &Store{cfg: cfg}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.gen++
+		sh.hot = make(map[uint64][]uint64)
+	}
+	fail := func(err error) (*Store, Meta, []FrontierItem, error) {
+		s.Close()
+		return nil, Meta{}, nil, err
+	}
+	for _, ms := range m.Shards {
+		if ms.Shard < 0 || ms.Shard >= numShards {
+			return fail(corrupt("manifest names shard %d", ms.Shard))
+		}
+		sh := &s.shards[ms.Shard]
+		for _, mr := range ms.Runs {
+			r, err := openRun(filepath.Join(cfg.Dir, mr.File), ms.Shard)
+			if err != nil {
+				return fail(err)
+			}
+			if fmt.Sprintf("%016x", r.sum) != mr.Sum || r.count != mr.Count {
+				r.close()
+				return fail(corrupt("run %s does not match its manifest entry", mr.File))
+			}
+			sh.runs = append(sh.runs, r)
+			s.diskBytes.Add(r.size)
+		}
+		sh.spilledGen = sh.gen
+	}
+	frontier, err := readFrontier(filepath.Join(cfg.CheckpointDir, m.Frontier), m.FrontierSum)
+	if err != nil {
+		return fail(err)
+	}
+	s.count.Store(m.States)
+	s.spills.Store(m.Spills)
+	s.seq.Store(m.Seq)
+	// The adopted manifest stays the resume point until this process
+	// writes its own checkpoint; its files must survive compaction.
+	keep := map[string]bool{m.Frontier: true}
+	for _, ms := range m.Shards {
+		for _, r := range ms.Runs {
+			keep[r.File] = true
+		}
+	}
+	s.setPinned(keep)
+	return s, m.Meta, frontier, nil
+}
+
+// Clear removes every statespace file under the configured directories —
+// the recovery path once Resume reports corruption, before starting
+// fresh.
+func Clear(cfg Config) error {
+	for _, dir := range []string{cfg.Dir, cfg.CheckpointDir} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("statespace: clear: %w", err)
+		}
+		if err := sweepStale(dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFrontier persists the DFS stack: magic, item count, then each
+// item's prefix, sleep set, and skip count, with an FNV trailer.
+// The stack order is preserved exactly — resume must pop in the same
+// order the interrupted pass would have.
+func writeFrontier(path string, items []FrontierItem) (uint64, error) {
+	buf := make([]byte, 0, 64+32*len(items))
+	put := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	put(frontierMagic)
+	put(uint64(len(items)))
+	for _, it := range items {
+		put(uint64(len(it.Prefix)))
+		for _, p := range it.Prefix {
+			put(uint64(int64(p)))
+		}
+		put(uint64(len(it.Sleep)))
+		for _, f := range it.Sleep {
+			put(f)
+		}
+		put(uint64(int64(it.Skip)))
+	}
+	sum := fnvBytes(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, sum)
+	tmp, err := os.CreateTemp(filepath.Dir(path), "frontier.tmp*")
+	if err != nil {
+		return 0, fmt.Errorf("statespace: frontier: %w", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("statespace: frontier: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("statespace: frontier: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("statespace: frontier: %w", err)
+	}
+	return sum, nil
+}
+
+func readFrontier(path, wantSum string) ([]FrontierItem, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, corrupt("frontier %s: %v", filepath.Base(path), err)
+	}
+	if len(data) < 24 || len(data)%8 != 0 {
+		return nil, corrupt("frontier %s: malformed length", filepath.Base(path))
+	}
+	sum := binary.LittleEndian.Uint64(data[len(data)-8:])
+	if fnvBytes(data[:len(data)-8]) != sum || fmt.Sprintf("%016x", sum) != wantSum {
+		return nil, corrupt("frontier %s: checksum mismatch", filepath.Base(path))
+	}
+	words := len(data)/8 - 1
+	at := 0
+	next := func() (uint64, bool) {
+		if at >= words {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(data[8*at:])
+		at++
+		return v, true
+	}
+	bad := func() ([]FrontierItem, error) {
+		return nil, corrupt("frontier %s: truncated records", filepath.Base(path))
+	}
+	if magic, ok := next(); !ok || magic != frontierMagic {
+		return nil, corrupt("frontier %s: bad magic", filepath.Base(path))
+	}
+	n, ok := next()
+	if !ok {
+		return bad()
+	}
+	items := make([]FrontierItem, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var it FrontierItem
+		pn, ok := next()
+		if !ok || pn > uint64(words) {
+			return bad()
+		}
+		if pn > 0 {
+			it.Prefix = make([]int, pn)
+			for j := range it.Prefix {
+				v, ok := next()
+				if !ok {
+					return bad()
+				}
+				it.Prefix[j] = int(int64(v))
+			}
+		}
+		sn, ok := next()
+		if !ok || sn > uint64(words) {
+			return bad()
+		}
+		if sn > 0 {
+			it.Sleep = make([]uint64, sn)
+			for j := range it.Sleep {
+				v, ok := next()
+				if !ok {
+					return bad()
+				}
+				it.Sleep[j] = v
+			}
+		}
+		sk, ok := next()
+		if !ok {
+			return bad()
+		}
+		it.Skip = int(int64(sk))
+		items = append(items, it)
+	}
+	if at != words {
+		return nil, corrupt("frontier %s: trailing records", filepath.Base(path))
+	}
+	return items, nil
+}

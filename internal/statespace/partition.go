@@ -1,0 +1,18 @@
+package statespace
+
+// Owner maps a canonical state fingerprint to one of parts partitions by
+// fingerprint range — the shard-ownership protocol for distributing one
+// exploration across farm workers. Ranges are contiguous in fingerprint
+// (and therefore shard) order, so a partition owns whole runs of shards
+// and cross-partition handoff happens only when the search crosses a
+// range boundary.
+//
+// The split uses the top 32 bits so it is consistent with the shard
+// index (top 6 bits): for parts ≤ 64 every shard belongs to exactly one
+// partition.
+func Owner(fp uint64, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	return int((fp >> 32) * uint64(parts) >> 32)
+}

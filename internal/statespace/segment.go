@@ -1,0 +1,282 @@
+package statespace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// A run is one immutable sorted segment of a shard, spilled from the hot
+// map. On-disk layout, little-endian uint64 words throughout:
+//
+//	header  (5 words): magic, version|shard<<32, count, bloomWords, payloadWords
+//	bloom   (bloomWords words): membership filter over the index keys
+//	index   (count × 2 words): fp, payloadOff<<16 | sleepLen — sorted by fp
+//	payload (payloadWords words): concatenated sleep-set words
+//	trailer (1 word): FNV-1a 64 over every preceding byte
+//
+// The trailer makes truncation and bit rot detectable: openRun streams
+// the whole file once and refuses a mismatch, so a corrupt segment can
+// never silently truncate the search (the caller falls back to a fresh
+// exploration). Lookups afterwards are ReadAt probes — bloom reject,
+// then binary search over fixed 16-byte index entries — served from the
+// page cache in the common case.
+const (
+	runMagic   = 0x4d43_5353_4547_3031 // "MCSSEG01" read as a LE word
+	runVersion = 1
+	runSuffix  = ".run"
+
+	runHeaderWords = 5
+	maxSleepWords  = 1 << 16 // index packs the length into 16 bits
+)
+
+type runEnt struct {
+	fp    uint64
+	sleep []uint64
+}
+
+type run struct {
+	path  string
+	f     *os.File
+	size  int64
+	sum   uint64 // trailer checksum, recorded in checkpoint manifests
+	count int64
+	bloom bloom
+
+	indexOff   int64
+	payloadOff int64
+}
+
+func runName(shard int, seq uint64) string {
+	return fmt.Sprintf("shard-%02d-%06d%s", shard, seq, runSuffix)
+}
+
+// writeRun persists ents (sorted by fp, unique keys) as a new run under
+// dir, atomically: temp file, then rename, then a validating re-open
+// that checks the image back (the farm disk store's idiom).
+func writeRun(dir string, shard int, seq uint64, ents []runEnt) (*run, error) {
+	payloadWords := 0
+	for _, e := range ents {
+		if len(e.sleep) >= maxSleepWords {
+			return nil, fmt.Errorf("statespace: sleep set of %d words exceeds the run format bound", len(e.sleep))
+		}
+		payloadWords += len(e.sleep)
+	}
+	bl := newBloom(len(ents))
+	for _, e := range ents {
+		bl.add(e.fp)
+	}
+	words := runHeaderWords + len(bl.words) + 2*len(ents) + payloadWords + 1
+	buf := make([]byte, 0, 8*words)
+	put := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	put(runMagic)
+	put(uint64(runVersion) | uint64(shard)<<32)
+	put(uint64(len(ents)))
+	put(uint64(len(bl.words)))
+	put(uint64(payloadWords))
+	for _, w := range bl.words {
+		put(w)
+	}
+	off := 0
+	for _, e := range ents {
+		put(e.fp)
+		put(uint64(off)<<16 | uint64(len(e.sleep)))
+		off += len(e.sleep)
+	}
+	for _, e := range ents {
+		for _, w := range e.sleep {
+			put(w)
+		}
+	}
+	put(fnvBytes(buf))
+
+	path := filepath.Join(dir, runName(shard, seq))
+	tmp, err := os.CreateTemp(dir, "run.tmp*")
+	if err != nil {
+		return nil, fmt.Errorf("statespace: spill: %w", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("statespace: spill: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("statespace: spill: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("statespace: spill: %w", err)
+	}
+	r, err := openRun(path, shard)
+	if err != nil {
+		return nil, fmt.Errorf("statespace: spill read-back: %w", err)
+	}
+	return r, nil
+}
+
+// openRun opens and validates a run: header sanity, size arithmetic, and
+// the full trailer checksum. Every failure is a CorruptError so resume
+// callers can distinguish damage from absence.
+func openRun(path string, wantShard int) (*run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, corrupt("run %s missing", filepath.Base(path))
+		}
+		return nil, err
+	}
+	r := &run{path: path, f: f}
+	var hdr [8 * runHeaderWords]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return nil, corrupt("run %s: short header", filepath.Base(path))
+	}
+	word := func(i int) uint64 { return binary.LittleEndian.Uint64(hdr[8*i:]) }
+	if word(0) != runMagic || word(1)&0xffffffff != runVersion {
+		f.Close()
+		return nil, corrupt("run %s: bad magic/version", filepath.Base(path))
+	}
+	if shard := int(word(1) >> 32); shard != wantShard {
+		f.Close()
+		return nil, corrupt("run %s: shard %d, want %d", filepath.Base(path), shard, wantShard)
+	}
+	r.count = int64(word(2))
+	bloomWords := int64(word(3))
+	payloadWords := int64(word(4))
+	r.size = 8 * (runHeaderWords + bloomWords + 2*r.count + payloadWords + 1)
+	if fi, err := f.Stat(); err != nil || fi.Size() != r.size {
+		f.Close()
+		return nil, corrupt("run %s: size %d, want %d", filepath.Base(path), fileSize(f), r.size)
+	}
+	r.indexOff = 8 * (runHeaderWords + bloomWords)
+	r.payloadOff = r.indexOff + 16*r.count
+
+	// Stream the whole image once: load the bloom words in passing and
+	// verify the trailer checksum.
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	body := make([]byte, r.size)
+	if _, err := io.ReadFull(f, body); err != nil {
+		f.Close()
+		return nil, corrupt("run %s: short read", filepath.Base(path))
+	}
+	sum := binary.LittleEndian.Uint64(body[r.size-8:])
+	if fnvBytes(body[:r.size-8]) != sum {
+		f.Close()
+		return nil, corrupt("run %s: checksum mismatch", filepath.Base(path))
+	}
+	r.sum = sum
+	r.bloom.words = make([]uint64, bloomWords)
+	for i := range r.bloom.words {
+		r.bloom.words[i] = binary.LittleEndian.Uint64(body[8*(runHeaderWords+i):])
+	}
+	return r, nil
+}
+
+func fileSize(f *os.File) int64 {
+	fi, err := f.Stat()
+	if err != nil {
+		return -1
+	}
+	return fi.Size()
+}
+
+// lookup finds fp's stored sleep set: bloom reject, then binary search
+// over the index via ReadAt.
+func (r *run) lookup(fp uint64) ([]uint64, bool, error) {
+	if !r.bloom.has(fp) {
+		return nil, false, nil
+	}
+	var ent [16]byte
+	lo, hi := int64(0), r.count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if _, err := r.f.ReadAt(ent[:], r.indexOff+16*mid); err != nil {
+			return nil, false, corrupt("run %s: index read: %v", filepath.Base(r.path), err)
+		}
+		key := binary.LittleEndian.Uint64(ent[:8])
+		switch {
+		case key < fp:
+			lo = mid + 1
+		case key > fp:
+			hi = mid
+		default:
+			packed := binary.LittleEndian.Uint64(ent[8:])
+			n := int(packed & (maxSleepWords - 1))
+			off := int64(packed >> 16)
+			if n == 0 {
+				return nil, true, nil
+			}
+			raw := make([]byte, 8*n)
+			if _, err := r.f.ReadAt(raw, r.payloadOff+8*off); err != nil {
+				return nil, false, corrupt("run %s: payload read: %v", filepath.Base(r.path), err)
+			}
+			sleep := make([]uint64, n)
+			for i := range sleep {
+				sleep[i] = binary.LittleEndian.Uint64(raw[8*i:])
+			}
+			return sleep, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// forEach streams every entry in fingerprint order (compaction and
+// tests).
+func (r *run) forEach(fn func(fp uint64, sleep []uint64)) error {
+	body := make([]byte, r.size)
+	if _, err := r.f.ReadAt(body, 0); err != nil {
+		return corrupt("run %s: read: %v", filepath.Base(r.path), err)
+	}
+	for i := int64(0); i < r.count; i++ {
+		ent := body[r.indexOff+16*i:]
+		fp := binary.LittleEndian.Uint64(ent)
+		packed := binary.LittleEndian.Uint64(ent[8:])
+		n := int(packed & (maxSleepWords - 1))
+		off := int64(packed >> 16)
+		var sleep []uint64
+		if n > 0 {
+			sleep = make([]uint64, n)
+			for j := range sleep {
+				sleep[j] = binary.LittleEndian.Uint64(body[r.payloadOff+8*(off+int64(j)):])
+			}
+		}
+		fn(fp, sleep)
+	}
+	return nil
+}
+
+func (r *run) close() error {
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	return err
+}
+
+// remove closes and deletes the run file (compaction, Reset).
+func (r *run) remove() error {
+	if err := r.close(); err != nil {
+		return err
+	}
+	if err := os.Remove(r.path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// fnvBytes is FNV-1a 64 over a byte slice — the same hash family the
+// fingerprint layer uses, here guarding file integrity.
+func fnvBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}

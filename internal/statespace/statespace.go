@@ -1,0 +1,496 @@
+// Package statespace is the explorer's visited-state store, grown from
+// internal/mc's in-memory sharded table into a storage subsystem whose
+// capacity is bounded by disk, not RAM.
+//
+// The store keeps 64 shards keyed by the top bits of the canonical state
+// fingerprint, so shard order IS fingerprint order and iteration is
+// deterministic by construction. Each shard holds a hot map plus a stack
+// of immutable, sorted, checksummed on-disk runs (spilled under a hard
+// memory budget, newest-wins on overlap, bloom-filtered so absent-key
+// probes stay in RAM). Entries map a state fingerprint to the smallest
+// sleep set it has been explored with — the same subset/intersection
+// contract internal/mc's visitedSet implemented, preserved bit-for-bit
+// so a memory-only Store is a drop-in replacement.
+//
+// On top of the tiered table sit atomic checkpoints (manifest + frontier
+// + spilled shards, written temp-then-rename like the farm's result
+// store) that let a killed exploration resume with a byte-identical
+// verdict, and a fingerprint-range partition (Owner) that lets several
+// workers share one exploration by shard ownership.
+//
+// The package participates in the explorer's determinism contract: no
+// wall clock anywhere — checkpoint metadata carries a sequence number,
+// never a timestamp — and no map-order dependence. multicube-vet
+// enforces both (see internal/analysis), and genbump enforces that every
+// hot-tier mutation bumps the shard generation the checkpoint dirtiness
+// test relies on.
+//
+//multicube:deterministic
+package statespace
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	numShards  = 64
+	shardShift = 64 - 6 // shard index = top 6 bits: shard order is fp order
+
+	// maxRunsPerShard bounds the on-disk run stack per shard; beyond it a
+	// spill triggers a merge compaction, keeping lookups O(log n) over a
+	// handful of files.
+	maxRunsPerShard = 4
+
+	// entryOverhead approximates the hot-map bookkeeping cost of one
+	// entry (bucket slot, key, slice header) beyond its sleep words. The
+	// budget is an engineering bound, not an exact accounting.
+	entryOverhead = 64
+)
+
+// Config bounds one Store.
+type Config struct {
+	// Dir is the spill directory; "" keeps the store memory-only (no
+	// spilling, no checkpoints — the PR-2 visitedSet behavior).
+	Dir string
+	// MemBudget caps the estimated hot-tier bytes; exceeding it spills
+	// the largest shard to a sorted run under Dir. Zero means unbounded.
+	MemBudget int64
+	// CheckpointDir holds the manifest and frontier files; "" disables
+	// checkpoints. May equal Dir.
+	CheckpointDir string
+}
+
+// Outcome is the result of one Visit, mirroring the explorer's original
+// visitNew/visitAgain/visitSeen/visitBudget semantics.
+type Outcome uint8
+
+const (
+	// OutcomeNew: first visit; the state was recorded.
+	OutcomeNew Outcome = iota
+	// OutcomeAgain: seen before, but with a sleep set that skipped
+	// successors this visit covers; the stored set shrank to the
+	// intersection and the state must be re-explored.
+	OutcomeAgain
+	// OutcomeSeen: seen before with a subset of this sleep set; every
+	// successor from here is already covered.
+	OutcomeSeen
+	// OutcomeBudget: the state budget is exhausted; nothing was recorded.
+	OutcomeBudget
+)
+
+// shard is one fingerprint range: a hot map over a stack of immutable
+// sorted runs. The generation counter is the checkpoint dirtiness test —
+// a shard whose gen still equals spilledGen has nothing hot to flush.
+type shard struct {
+	mu sync.Mutex
+	// gen counts hot-tier mutations.
+	gen uint64 //multicube:gencounter
+	// hot maps fingerprint → smallest sleep set, shadowing the runs below
+	// (an entry here overrides any on-disk value for the same key).
+	hot map[uint64][]uint64 //multicube:fpfield guard=shard
+	// bytes estimates the hot tier's memory cost.
+	bytes int64
+	// runs is the on-disk tier, oldest first; lookups scan newest first.
+	runs []*run
+	// spilledGen is the gen value the newest run covers.
+	spilledGen uint64
+}
+
+// Store is the tiered visited-state table. It is safe for concurrent
+// Visit calls (per-shard locking, like the in-memory table it replaces);
+// checkpoint and reset operations require the caller to be quiescent.
+type Store struct {
+	cfg    Config
+	shards [numShards]shard
+
+	count     atomic.Int64 // distinct states recorded
+	bytes     atomic.Int64 // hot-tier estimate across shards
+	spills    atomic.Int64
+	diskBytes atomic.Int64
+	seq       atomic.Uint64 // file-name sequence (never a timestamp)
+
+	spillMu sync.Mutex // serializes victim selection and eviction
+
+	// pinned holds the file basenames the newest durable manifest
+	// references. Compaction and Reset must not unlink them — a crash
+	// before the next checkpoint would leave that manifest naming deleted
+	// files and the resume would degrade to a fresh exploration. They are
+	// closed instead and swept by the next checkpoint's gc, whose renamed
+	// manifest no longer names them.
+	pinMu  sync.Mutex
+	pinned map[string]bool
+
+	errMu sync.Mutex
+	err   error // sticky first I/O failure; Visit degrades to OutcomeSeen
+}
+
+// isPinned reports whether the newest durable manifest references name.
+func (s *Store) isPinned(name string) bool {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	return s.pinned[name]
+}
+
+// setPinned replaces the pinned set with the freshly renamed (or adopted)
+// manifest's file basenames.
+func (s *Store) setPinned(keep map[string]bool) {
+	s.pinMu.Lock()
+	s.pinned = keep
+	s.pinMu.Unlock()
+}
+
+// Open creates a store under cfg. A non-empty Dir is created and swept
+// of temp droppings; stale run files from a previous process are removed
+// (resume goes through Resume, which adopts only manifest-listed runs).
+func Open(cfg Config) (*Store, error) {
+	if cfg.MemBudget > 0 && cfg.Dir == "" {
+		return nil, errors.New("statespace: a memory budget requires a spill directory")
+	}
+	s := &Store{cfg: cfg}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.gen++
+		sh.hot = make(map[uint64][]uint64)
+	}
+	for _, dir := range []string{cfg.Dir, cfg.CheckpointDir} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("statespace: %w", err)
+		}
+	}
+	if cfg.Dir != "" {
+		if err := sweepStale(cfg.Dir); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// sweepStale removes run, frontier, and temp files left behind by a
+// previous process; a fresh exploration must not see them.
+func sweepStale(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("statespace: sweep: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, runSuffix) || strings.HasSuffix(name, frontierSuffix) ||
+			strings.Contains(name, ".tmp") || name == manifestName {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return fmt.Errorf("statespace: sweep: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// fail records the first I/O failure; the explorer consults Err at
+// frontier boundaries and aborts, so a degraded Visit answer is never
+// silently folded into a verdict.
+func (s *Store) fail(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+}
+
+// Err reports the sticky first I/O failure, if any.
+func (s *Store) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// Visit records an arrival at state fp carrying the given sorted sleep
+// set, against a table capped at max states. The contract is exactly the
+// in-memory table's: a stored subset truncates (OutcomeSeen), anything
+// else shrinks the stored set to the intersection and re-explores
+// (OutcomeAgain), a first arrival records the set (OutcomeNew) unless
+// the budget is exhausted (OutcomeBudget). The caller must not mutate
+// sleep afterwards.
+func (s *Store) Visit(fp uint64, sleep []uint64, max int) Outcome {
+	sh := &s.shards[fp>>shardShift]
+	sh.mu.Lock()
+	if stored, ok := sh.hot[fp]; ok {
+		if subsetOf(stored, sleep) {
+			sh.mu.Unlock()
+			return OutcomeSeen
+		}
+		inter := intersectSorted(stored, sleep)
+		sh.gen++
+		sh.hot[fp] = inter
+		delta := int64(8 * (len(inter) - len(stored)))
+		sh.bytes += delta
+		sh.mu.Unlock()
+		s.bytes.Add(delta)
+		return OutcomeAgain
+	}
+	if len(sh.runs) > 0 {
+		stored, ok, err := sh.lookupRuns(fp)
+		if err != nil {
+			sh.mu.Unlock()
+			s.fail(err)
+			// Degrade conservatively: truncate this branch. The explorer
+			// aborts on Err at the next frontier boundary.
+			return OutcomeSeen
+		}
+		if ok {
+			if subsetOf(stored, sleep) {
+				sh.mu.Unlock()
+				return OutcomeSeen
+			}
+			inter := intersectSorted(stored, sleep)
+			sh.gen++
+			sh.hot[fp] = inter // shadows the on-disk value
+			grow := int64(entryOverhead + 8*len(inter))
+			sh.bytes += grow
+			sh.mu.Unlock()
+			s.bytes.Add(grow)
+			s.maybeSpill()
+			return OutcomeAgain
+		}
+	}
+	if s.count.Add(1) > int64(max) {
+		s.count.Add(-1)
+		sh.mu.Unlock()
+		return OutcomeBudget
+	}
+	sh.gen++
+	sh.hot[fp] = sleep
+	grow := int64(entryOverhead + 8*len(sleep))
+	sh.bytes += grow
+	sh.mu.Unlock()
+	s.bytes.Add(grow)
+	s.maybeSpill()
+	return OutcomeNew
+}
+
+// lookupRuns searches the on-disk tier newest-first (the newest run
+// holds the smallest — most recently intersected — set for a key that
+// appears in several). Caller holds the shard lock.
+func (sh *shard) lookupRuns(fp uint64) ([]uint64, bool, error) {
+	for i := len(sh.runs) - 1; i >= 0; i-- {
+		sleep, ok, err := sh.runs[i].lookup(fp)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return sleep, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// maybeSpill evicts the largest hot shards to disk until the estimate is
+// back under budget. Serialized so concurrent visitors pick distinct
+// victims at most once.
+func (s *Store) maybeSpill() {
+	if s.cfg.MemBudget <= 0 || s.bytes.Load() <= s.cfg.MemBudget {
+		return
+	}
+	s.spillMu.Lock()
+	defer s.spillMu.Unlock()
+	for s.bytes.Load() > s.cfg.MemBudget {
+		victim, victimBytes := -1, int64(0)
+		for i := range s.shards {
+			s.shards[i].mu.Lock()
+			b := s.shards[i].bytes
+			s.shards[i].mu.Unlock()
+			if b > victimBytes {
+				victim, victimBytes = i, b
+			}
+		}
+		if victim < 0 || victimBytes == 0 {
+			return // nothing left to evict; the budget is simply too small
+		}
+		if err := s.spillShard(victim); err != nil {
+			s.fail(err)
+			return
+		}
+	}
+}
+
+// spillShard writes shard i's hot entries as one sorted run and clears
+// the hot map. Compaction merges the run stack once it exceeds
+// maxRunsPerShard.
+func (s *Store) spillShard(i int) error {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.hot) == 0 {
+		return nil
+	}
+	ents := make([]runEnt, 0, len(sh.hot))
+	for fp, sleep := range sh.hot { // collect-then-sort: order restored below
+		ents = append(ents, runEnt{fp: fp, sleep: sleep})
+	}
+	sort.Slice(ents, func(a, b int) bool { return ents[a].fp < ents[b].fp })
+	r, err := writeRun(s.cfg.Dir, i, s.seq.Add(1), ents)
+	if err != nil {
+		return err
+	}
+	sh.runs = append(sh.runs, r)
+	sh.gen++
+	sh.hot = make(map[uint64][]uint64)
+	s.bytes.Add(-sh.bytes)
+	sh.bytes = 0
+	sh.spilledGen = sh.gen
+	s.spills.Add(1)
+	s.diskBytes.Add(r.size)
+	if len(sh.runs) > maxRunsPerShard {
+		return s.compactLocked(sh, i)
+	}
+	return nil
+}
+
+// compactLocked merges a shard's whole run stack into one run
+// (newest-wins per key) and deletes the inputs — except inputs the
+// newest durable manifest still references, which are only closed and
+// left for the next checkpoint's gc. Caller holds the shard lock.
+func (s *Store) compactLocked(sh *shard, i int) error {
+	merged := make(map[uint64][]uint64)
+	for _, r := range sh.runs { // oldest first: later (newer) runs win
+		if err := r.forEach(func(fp uint64, sleep []uint64) {
+			merged[fp] = sleep
+		}); err != nil {
+			return err
+		}
+	}
+	ents := make([]runEnt, 0, len(merged))
+	for fp, sleep := range merged { // collect-then-sort: order restored below
+		ents = append(ents, runEnt{fp: fp, sleep: sleep})
+	}
+	sort.Slice(ents, func(a, b int) bool { return ents[a].fp < ents[b].fp })
+	r, err := writeRun(s.cfg.Dir, i, s.seq.Add(1), ents)
+	if err != nil {
+		return err
+	}
+	for _, old := range sh.runs {
+		s.diskBytes.Add(-old.size)
+		if s.isPinned(filepath.Base(old.path)) {
+			if err := old.close(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := old.remove(); err != nil {
+			return err
+		}
+	}
+	sh.runs = append(sh.runs[:0], r)
+	s.diskBytes.Add(r.size)
+	return nil
+}
+
+// States reports the number of distinct states recorded.
+func (s *Store) States() int { return int(s.count.Load()) }
+
+// Spills reports how many shard evictions have run.
+func (s *Store) Spills() int { return int(s.spills.Load()) }
+
+// DiskBytes reports the current on-disk tier size.
+func (s *Store) DiskBytes() int64 { return s.diskBytes.Load() }
+
+// MemBytes reports the current hot-tier estimate.
+func (s *Store) MemBytes() int64 { return s.bytes.Load() }
+
+// Reset clears the store for a fresh deepening iteration: every hot
+// entry, every run file, the counters. The configuration is kept.
+func (s *Store) Reset() error {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.gen++
+		sh.hot = make(map[uint64][]uint64)
+		sh.bytes = 0
+		sh.spilledGen = sh.gen
+		for _, r := range sh.runs {
+			// Same crash-window rule as compaction: a manifest-referenced
+			// run is closed, not unlinked, until a new manifest is durable.
+			if s.isPinned(filepath.Base(r.path)) {
+				if err := r.close(); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				continue
+			}
+			if err := r.remove(); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+		}
+		sh.runs = nil
+		sh.mu.Unlock()
+	}
+	s.count.Store(0)
+	s.bytes.Store(0)
+	s.diskBytes.Store(0)
+	return nil
+}
+
+// Close releases every open run file, leaving the on-disk state intact
+// (a checkpointed store remains resumable).
+func (s *Store) Close() error {
+	var first error
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, r := range sh.runs {
+			if err := r.close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		sh.runs = nil
+		sh.mu.Unlock()
+	}
+	return first
+}
+
+// subsetOf reports a ⊆ b for sorted fingerprint slices (the sleep-set
+// encoding internal/mc stores).
+func subsetOf(a, b []uint64) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// intersectSorted returns a ∩ b for sorted fingerprint slices.
+func intersectSorted(a, b []uint64) []uint64 {
+	var out []uint64
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i < len(b) && b[i] == x {
+			out = append(out, x)
+			i++
+		}
+	}
+	return out
+}
