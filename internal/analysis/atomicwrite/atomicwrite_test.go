@@ -1,0 +1,104 @@
+package atomicwrite_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multicube/internal/analysis"
+	"multicube/internal/analysis/analysistest"
+	"multicube/internal/analysis/atomicwrite"
+)
+
+func TestFixture(t *testing.T) {
+	findings := analysistest.Run(t, filepath.Join("testdata", "atomfix"), atomicwrite.Analyzer)
+	analysistest.Golden(t, filepath.Join("testdata", "atomfix"), findings, "atomfix.go")
+}
+
+// stripSync removes one exact occurrence of needle from the named repo
+// file, returning an overlay; the test fails if the anchor drifted.
+func stripSync(t *testing.T, modRoot, relPath, needle string) map[string][]byte {
+	t.Helper()
+	path := filepath.Join(modRoot, filepath.FromSlash(relPath))
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", relPath, err)
+	}
+	if !bytes.Contains(src, []byte(needle)) {
+		t.Fatalf("%s no longer contains %q; update the overlay anchor", relPath, needle)
+	}
+	mod := bytes.Replace(src, []byte(needle), nil, 1)
+	return map[string][]byte{path: mod}
+}
+
+func runAtomicwrite(t *testing.T, modRoot, pattern string, overlay map[string][]byte) []analysis.Finding {
+	t.Helper()
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: modRoot, Overlay: overlay}, pattern)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	findings, _, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{atomicwrite.Analyzer})
+	if err != nil {
+		t.Fatalf("running atomicwrite on %s: %v", pattern, err)
+	}
+	return findings
+}
+
+func assertClean(t *testing.T, modRoot, pattern string) {
+	t.Helper()
+	if got := runAtomicwrite(t, modRoot, pattern, nil); len(got) != 0 {
+		var b strings.Builder
+		for _, f := range got {
+			b.WriteString(f.String() + "\n")
+		}
+		t.Fatalf("unmodified %s should be clean, got %d findings:\n%s", pattern, len(got), b.String())
+	}
+}
+
+// assertSyncFinding requires a missing-Sync finding in file and nothing
+// else new; the overlay restores the exact pre-audit shape of a writer.
+func assertSyncFinding(t *testing.T, findings []analysis.Finding, file string) {
+	t.Helper()
+	if len(findings) == 0 {
+		t.Fatalf("atomicwrite pass missed the stripped Sync in %s", file)
+	}
+	for _, f := range findings {
+		pos := f.Pkg.Fset.Position(f.Diag.Pos)
+		if filepath.Base(pos.Filename) != file {
+			t.Errorf("finding outside %s: %s", file, f)
+		}
+		if !strings.Contains(f.Diag.Message, "without a tmp.Sync()") {
+			t.Errorf("unexpected message: %s", f.Diag.Message)
+		}
+		if len(f.Diag.SuggestedFixes) == 0 {
+			t.Errorf("missing-Sync finding carries no fix: %s", f)
+		}
+	}
+}
+
+// TestDetectsStrippedSyncCheckpoint is the acceptance proof over real
+// code: deleting the manifest writer's Sync in internal/statespace —
+// the exact pre-audit shape, where a crash after the rename could leave
+// a torn manifest that a resume then trusts — must produce a finding,
+// while the fixed package stays clean.
+func TestDetectsStrippedSyncCheckpoint(t *testing.T) {
+	modRoot := analysistest.ModuleRoot(t)
+	assertClean(t, modRoot, "./internal/statespace")
+
+	overlay := stripSync(t, modRoot, "internal/statespace/checkpoint.go",
+		"\tif err := tmp.Sync(); err != nil {\n\t\ttmp.Close()\n\t\tos.Remove(tmp.Name())\n\t\treturn fmt.Errorf(\"statespace: manifest: %w\", err)\n\t}\n")
+	assertSyncFinding(t, runAtomicwrite(t, modRoot, "./internal/statespace", overlay), "checkpoint.go")
+}
+
+// TestDetectsStrippedSyncFarmCache does the same for the farm result
+// cache's Put writer.
+func TestDetectsStrippedSyncFarmCache(t *testing.T) {
+	modRoot := analysistest.ModuleRoot(t)
+	assertClean(t, modRoot, "./internal/farm")
+
+	overlay := stripSync(t, modRoot, "internal/farm/cache.go",
+		"\tif err := tmp.Sync(); err != nil {\n\t\ttmp.Close()\n\t\tos.Remove(tmp.Name())\n\t\treturn fmt.Errorf(\"farm: cache put: %w\", err)\n\t}\n")
+	assertSyncFinding(t, runAtomicwrite(t, modRoot, "./internal/farm", overlay), "cache.go")
+}

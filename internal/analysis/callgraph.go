@@ -1,0 +1,402 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file implements the shared call-graph / obligation-propagation
+// engine the discipline passes (genbump rule B, inclusion) sit on. The
+// graph is package-level and deliberately over-approximate in the sound
+// direction for obligation propagation: an edge means "calling this unit
+// MAY execute that body", so a caller is charged with every obligation it
+// might reach.
+//
+// Three call shapes resolve to edges:
+//
+//   - Static same-package calls: f(...) and x.M(...) where the callee is
+//     a declared function or concrete method of this package.
+//
+//   - Interface dispatch: x.M(...) where x's static type is an
+//     interface. The call charges every same-package named type whose
+//     method set (value or pointer) implements the interface — the
+//     package-level method-set resolution that closes genbump's ifacegap.
+//     Implementations living in other packages remain invisible.
+//
+//   - Stored func values: calls through a variable or struct field that
+//     was assigned a func literal or a same-package function, via
+//     assignment statements, var specs, or composite-literal fields
+//     (h.apply(...) charges the literal bound at h's construction site).
+//     Func values that arrive through parameters, returns, channels, or
+//     other packages are not tracked.
+//
+// The remaining blind spots — cross-package dispatch, parameter-passed
+// closures, reflection — are the engine's documented soundness boundary;
+// the passes restate it in their own docs.
+
+// CallUnit is one analyzed body: a declared function/method or a func
+// literal (including literals in package-level var declarations and
+// composite-literal fields, which have no enclosing function).
+type CallUnit struct {
+	Decl *ast.FuncDecl // nil for literals
+	Lit  *ast.FuncLit  // nil for declarations
+	Obj  *types.Func   // nil for literals
+
+	// Callees are the units this body may call, deduplicated, in source
+	// resolution order.
+	Callees []*CallUnit
+
+	calleeSet map[*CallUnit]bool
+}
+
+// Body returns the unit's block.
+func (u *CallUnit) Body() *ast.BlockStmt {
+	if u.Decl != nil {
+		return u.Decl.Body
+	}
+	return u.Lit.Body
+}
+
+// Name renders the unit for diagnostics: the declared name, or
+// "func literal".
+func (u *CallUnit) Name() string {
+	if u.Obj != nil {
+		return u.Obj.Name()
+	}
+	return "func literal"
+}
+
+// CallGraph holds every unit of one package and their call edges.
+type CallGraph struct {
+	Units []*CallUnit
+
+	byObj map[*types.Func]*CallUnit
+	byLit map[*ast.FuncLit]*CallUnit
+
+	// bindings maps a variable or struct-field object to the units whose
+	// func values were observed assigned to it anywhere in the package.
+	bindings map[types.Object][]*CallUnit
+
+	pass *Pass
+}
+
+// UnitFor returns the unit of a declared function, or nil.
+func (g *CallGraph) UnitFor(obj *types.Func) *CallUnit { return g.byObj[obj] }
+
+// LitUnit returns the unit of a func literal, or nil.
+func (g *CallGraph) LitUnit(lit *ast.FuncLit) *CallUnit { return g.byLit[lit] }
+
+// Reaches reports whether pred holds for from or any unit transitively
+// callable from it.
+func (g *CallGraph) Reaches(from *CallUnit, pred func(*CallUnit) bool) bool {
+	seen := make(map[*CallUnit]bool)
+	var walk func(u *CallUnit) bool
+	walk = func(u *CallUnit) bool {
+		if u == nil || seen[u] {
+			return false
+		}
+		seen[u] = true
+		if pred(u) {
+			return true
+		}
+		for _, c := range u.Callees {
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+// BuildCallGraph constructs the package's call graph in three passes:
+// unit discovery, func-value binding collection, and call-site edge
+// resolution.
+func BuildCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{
+		byObj:    make(map[*types.Func]*CallUnit),
+		byLit:    make(map[*ast.FuncLit]*CallUnit),
+		bindings: make(map[types.Object][]*CallUnit),
+		pass:     pass,
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return false
+				}
+				u := &CallUnit{Decl: n, calleeSet: make(map[*CallUnit]bool)}
+				if obj, ok := pass.TypesInfo.Defs[n.Name].(*types.Func); ok {
+					u.Obj = obj
+					g.byObj[obj] = u
+				}
+				g.Units = append(g.Units, u)
+			case *ast.FuncLit:
+				u := &CallUnit{Lit: n, calleeSet: make(map[*CallUnit]bool)}
+				g.byLit[n] = u
+				g.Units = append(g.Units, u)
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		g.collectBindings(f)
+	}
+	for _, u := range g.Units {
+		g.resolveUnit(u)
+	}
+	return g
+}
+
+// collectBindings records func-valued assignments to variables and
+// struct fields.
+func (g *CallGraph) collectBindings(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				g.bind(g.targetObj(lhs), n.Rhs[i])
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			for i, name := range n.Names {
+				g.bind(g.pass.TypesInfo.Defs[name], n.Values[i])
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					g.bind(g.pass.TypesInfo.Uses[key], kv.Value)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// targetObj resolves an assignment target to its variable or field
+// object.
+func (g *CallGraph) targetObj(lhs ast.Expr) types.Object {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if obj := g.pass.TypesInfo.Defs[lhs]; obj != nil {
+			return obj
+		}
+		return g.pass.TypesInfo.Uses[lhs]
+	case *ast.SelectorExpr:
+		if s := g.pass.TypesInfo.Selections[lhs]; s != nil && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+	}
+	return nil
+}
+
+// bind records obj ← the unit(s) denoted by the value expression.
+func (g *CallGraph) bind(obj types.Object, val ast.Expr) {
+	if obj == nil {
+		return
+	}
+	if u := g.valueUnit(val); u != nil {
+		g.bindings[obj] = append(g.bindings[obj], u)
+	}
+}
+
+// valueUnit resolves an expression used as a func value to a unit:
+// a literal, a same-package function, or a concrete method value.
+func (g *CallGraph) valueUnit(val ast.Expr) *CallUnit {
+	switch val := ast.Unparen(val).(type) {
+	case *ast.FuncLit:
+		return g.byLit[val]
+	case *ast.Ident:
+		if fn, ok := g.pass.TypesInfo.Uses[val].(*types.Func); ok && fn.Pkg() == g.pass.Pkg {
+			return g.byObj[fn]
+		}
+	case *ast.SelectorExpr:
+		if s := g.pass.TypesInfo.Selections[val]; s != nil && s.Kind() == types.MethodVal {
+			if fn, ok := g.pass.TypesInfo.Uses[val.Sel].(*types.Func); ok &&
+				fn.Pkg() == g.pass.Pkg && !types.IsInterface(s.Recv()) {
+				return g.byObj[fn]
+			}
+		}
+	}
+	return nil
+}
+
+// resolveUnit walks one body (excluding nested literals, which are their
+// own units) and adds call edges.
+func (g *CallGraph) resolveUnit(u *CallUnit) {
+	body := u.Body()
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != u.Lit {
+			return false // nested literal: its calls belong to its own unit
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			for _, callee := range g.CalleesAt(call) {
+				g.addEdge(u, callee)
+			}
+		}
+		return true
+	})
+}
+
+// addEdge appends callee to u's edges once.
+func (g *CallGraph) addEdge(u, callee *CallUnit) {
+	if callee == nil || u.calleeSet[callee] {
+		return
+	}
+	u.calleeSet[callee] = true
+	u.Callees = append(u.Callees, callee)
+}
+
+// CalleesAt resolves the same-package units one call site may execute:
+// the static callee, every implementation of a dispatched interface
+// method, or the units bound to a called func value. Passes needing
+// per-site resolution (the inclusion pass's positional discharge check)
+// use this directly; the graph's edges are its union over each body.
+func (g *CallGraph) CalleesAt(call *ast.CallExpr) []*CallUnit {
+	var out []*CallUnit
+	add := func(u *CallUnit) {
+		if u != nil {
+			out = append(out, u)
+		}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		add(g.byLit[fun])
+	case *ast.Ident:
+		switch obj := g.pass.TypesInfo.Uses[fun].(type) {
+		case *types.Func:
+			if obj.Pkg() == g.pass.Pkg {
+				add(g.byObj[obj])
+			}
+		case *types.Var:
+			for _, b := range g.bindings[obj] {
+				add(b)
+			}
+		}
+	case *ast.SelectorExpr:
+		s := g.pass.TypesInfo.Selections[fun]
+		if s == nil {
+			// Qualified identifier pkg.F: never same-package.
+			return nil
+		}
+		switch s.Kind() {
+		case types.FieldVal:
+			// Call through a func-valued field: charge the bound units.
+			for _, b := range g.bindings[s.Obj()] {
+				add(b)
+			}
+		case types.MethodVal, types.MethodExpr:
+			fn, ok := g.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+			if !ok {
+				return nil
+			}
+			if types.IsInterface(s.Recv()) {
+				for _, impl := range g.interfaceImpls(s.Recv(), fn.Name()) {
+					add(impl)
+				}
+				return out
+			}
+			if fn.Pkg() == g.pass.Pkg {
+				add(g.byObj[fn])
+			}
+		}
+	}
+	return out
+}
+
+// interfaceImpls returns the unit of the named method on every
+// same-package concrete type whose method set implements the interface.
+func (g *CallGraph) interfaceImpls(recv types.Type, method string) []*CallUnit {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*CallUnit
+	scope := g.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		// The pointer method set is the superset: a *T implementing the
+		// interface covers the T case too.
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, g.pass.Pkg, method)
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() != g.pass.Pkg {
+			continue
+		}
+		if u := g.byObj[fn]; u != nil {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// FindImport locates path among pkg's transitive imports, for resolving
+// cross-package registration tables (allowlisted fields, evictor
+// methods) against export data.
+func FindImport(pkg *types.Package, path string) *types.Package {
+	seen := make(map[*types.Package]bool)
+	var walk func(p *types.Package) *types.Package
+	walk = func(p *types.Package) *types.Package {
+		if p.Path() == path {
+			return p
+		}
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		for _, imp := range p.Imports() {
+			if got := walk(imp); got != nil {
+				return got
+			}
+		}
+		return nil
+	}
+	return walk(pkg)
+}
+
+// ResolveMethod resolves a "pkgpath.Type.Method" registration entry
+// against pkg's transitive imports, returning nil when the package is
+// not imported or the method does not exist.
+func ResolveMethod(pkg *types.Package, entry string) *types.Func {
+	lastDot := strings.LastIndexByte(entry, '.')
+	if lastDot < 0 {
+		return nil
+	}
+	pkgType, method := entry[:lastDot], entry[lastDot+1:]
+	typeDot := strings.LastIndexByte(pkgType, '.')
+	if typeDot < 0 {
+		return nil
+	}
+	pkgPath, typeName := pkgType[:typeDot], pkgType[typeDot+1:]
+	imp := FindImport(pkg, pkgPath)
+	if imp == nil {
+		return nil
+	}
+	named, ok := imp.Scope().Lookup(typeName).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named.Type()), true, imp, method)
+	fn, _ := obj.(*types.Func)
+	return fn
+}

@@ -1,0 +1,121 @@
+package analysis_test
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+
+	"multicube/internal/analysis"
+	"multicube/internal/analysis/analysistest"
+)
+
+// loadGraph builds the call graph of the testdata/callgraph fixture.
+func loadGraph(t *testing.T) (*analysis.CallGraph, *analysis.Package) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(analysistest.ModuleRoot(t), filepath.Join("testdata", "callgraph"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	pass := &analysis.Pass{
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Dirs:      pkg.Dirs,
+	}
+	return analysis.BuildCallGraph(pass), pkg
+}
+
+// unitOf finds the unit of a package-scope function, or a method given
+// "Type.Method".
+func unitOf(t *testing.T, g *analysis.CallGraph, pkg *analysis.Package, name string) *analysis.CallUnit {
+	t.Helper()
+	scope := pkg.Types.Scope()
+	if typ, method, ok := splitMethod(name); ok {
+		tn, _ := scope.Lookup(typ).(*types.TypeName)
+		if tn == nil {
+			t.Fatalf("no type %s", typ)
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(tn.Type()), true, pkg.Types, method)
+		fn, _ := obj.(*types.Func)
+		if fn == nil {
+			t.Fatalf("no method %s", name)
+		}
+		u := g.UnitFor(fn)
+		if u == nil {
+			t.Fatalf("no unit for %s", name)
+		}
+		return u
+	}
+	fn, _ := scope.Lookup(name).(*types.Func)
+	if fn == nil {
+		t.Fatalf("no function %s", name)
+	}
+	u := g.UnitFor(fn)
+	if u == nil {
+		t.Fatalf("no unit for %s", name)
+	}
+	return u
+}
+
+func splitMethod(name string) (typ, method string, ok bool) {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[:i], name[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// reachesTarget asserts whether the named unit can reach target().
+func reachesTarget(t *testing.T, g *analysis.CallGraph, pkg *analysis.Package, name string, want bool) {
+	t.Helper()
+	target := unitOf(t, g, pkg, "target")
+	got := g.Reaches(unitOf(t, g, pkg, name), func(u *analysis.CallUnit) bool { return u == target })
+	if got != want {
+		t.Errorf("Reaches(%s -> target) = %v, want %v", name, got, want)
+	}
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	g, pkg := loadGraph(t)
+
+	// Static dispatch.
+	reachesTarget(t, g, pkg, "static", true)
+
+	// Interface dispatch charges both same-package implementations.
+	viaIface := unitOf(t, g, pkg, "viaIface")
+	implADo := unitOf(t, g, pkg, "implA.Do")
+	implBDo := unitOf(t, g, pkg, "implB.Do")
+	hasA, hasB := false, false
+	for _, c := range viaIface.Callees {
+		if c == implADo {
+			hasA = true
+		}
+		if c == implBDo {
+			hasB = true
+		}
+	}
+	if !hasA || !hasB {
+		t.Errorf("viaIface callees miss an implementation: implA.Do=%v implB.Do=%v", hasA, hasB)
+	}
+	reachesTarget(t, g, pkg, "viaIface", true)
+
+	// Stored func values: composite-literal field, local var, literal,
+	// method value.
+	reachesTarget(t, g, pkg, "viaField", true)
+	reachesTarget(t, g, pkg, "viaLocalVar", true)
+	reachesTarget(t, g, pkg, "viaLit", true)
+	reachesTarget(t, g, pkg, "viaMethodValue", true)
+
+	// Parameter-passed closures stay outside the soundness boundary.
+	reachesTarget(t, g, pkg, "viaParam", false)
+}
+
+func TestCallGraphSelfReach(t *testing.T) {
+	g, pkg := loadGraph(t)
+	target := unitOf(t, g, pkg, "target")
+	if !g.Reaches(target, func(u *analysis.CallUnit) bool { return u == target }) {
+		t.Error("Reaches must test the start unit itself")
+	}
+}

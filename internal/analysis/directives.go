@@ -58,6 +58,30 @@ import (
 //
 //	//multicube:nolockstep-ok <reason>
 //	    Escape hatch for nolockstep findings.
+//
+//	//multicube:inclusion
+//	    Package marker (any file). Opts the package into the inclusion
+//	    pass: every snooping-cache eviction must reach an upper-level
+//	    purge on a same-function path (invariant 6 at vet time).
+//
+//	//multicube:inclusion-purge
+//	    On a function declaration (doc comment) or on the line before a
+//	    func literal: the function purges the registered upper-level
+//	    views; reaching it discharges an eviction's purge obligation.
+//
+//	//multicube:inclusion-ok <reason>
+//	    Escape hatch for inclusion findings, on (or before) the evicting
+//	    statement or on the enclosing function's doc comment.
+//
+//	//multicube:durable
+//	    Package marker (any file). Opts the package into the atomicwrite
+//	    pass: durable files are written temp+sync+rename and deleted
+//	    only under the manifest-pin discipline.
+//
+//	//multicube:atomicwrite-ok <reason>
+//	    Escape hatch for atomicwrite findings, on (or before) the
+//	    statement or on the enclosing function's doc comment; the reason
+//	    names the retention rule that makes the operation safe.
 const directivePrefix = "//multicube:"
 
 // Directive is one parsed //multicube: comment.

@@ -28,8 +28,12 @@
 //	callers.
 //
 //	Rule B (exported mutators): an exported function or method that
-//	transitively (static same-package calls) reaches an exempted
-//	unbumped write without bumping along the way is flagged. This
+//	transitively reaches an exempted unbumped write without bumping
+//	along the way is flagged. Propagation runs over the shared
+//	analysis.CallGraph engine, so beyond static same-package calls it
+//	follows interface dispatch (charging every same-package
+//	implementation of the method set) and stored func values (closures
+//	and func-valued struct fields charge their assigned literals). This
 //	catches new entry points that forget the discipline even when every
 //	helper they use is individually annotated.
 //
@@ -37,16 +41,17 @@
 // inserting `<recv>.<counter>++; ` before the offending statement.
 //
 // Known limits, accepted deliberately: writes through aliases (a slice
-// returned by an accessor, a retained *Entry) and calls through interfaces
-// or stored closures are invisible to the pass. The protocol entry points
-// (snoop dispatchers, processor-side APIs) bump unconditionally, which is
-// what makes the per-function convention — and hence this mechanical check
-// — sound in practice. The interface-dispatch case is pinned as an
-// executable fixture rather than prose alone: testdata/ifacegap holds a
-// statically-dispatched mutation (flagged) next to its
-// interface-dispatched twin (not flagged), and TestIfaceGapIsStillOpen
-// fails the moment the gap closes, forcing the stronger behavior to be
-// locked in deliberately.
+// returned by an accessor, a retained *Entry) and the call-graph engine's
+// soundness boundary — implementations in other packages, func values
+// passed as parameters or returned, reflection — are invisible to the
+// pass. The protocol entry points (snoop dispatchers, processor-side
+// APIs) bump unconditionally, which is what makes the per-function
+// convention — and hence this mechanical check — sound in practice. The
+// formerly-open interface-dispatch gap is pinned closed by executable
+// fixtures: testdata/ifacegap flags the interface-dispatched caller next
+// to its statically-dispatched twin, testdata/closuregap does the same
+// for a closure stored in a struct field, and TestIfaceGapClosed /
+// TestClosureGapClosed fail if either blind spot ever reopens.
 package genbump
 
 import (
@@ -133,22 +138,21 @@ type collector struct {
 	// allowlisted gates the allowlist entries to configured packages.
 	allowlisted bool
 
-	units []*funcUnit
-	// declUnits maps declared functions to their unit for Rule B.
-	declUnits map[*types.Func]*funcUnit
+	// graph is the shared call-graph engine; unitOf maps its units to
+	// this pass's per-body state for Rule B propagation.
+	graph  *analysis.CallGraph
+	units  []*funcUnit
+	unitOf map[*analysis.CallUnit]*funcUnit
 }
 
 // funcUnit is one analyzed body: a declared function/method or a func
-// literal.
+// literal (the call-graph unit carries the body and identity).
 type funcUnit struct {
-	decl *ast.FuncDecl // nil for literals
-	lit  *ast.FuncLit  // nil for declarations
-	obj  *types.Func   // nil for literals
+	cu *analysis.CallUnit
 
-	exempt  bool
-	bumps   map[*types.TypeName]bool
-	writes  []writeRec
-	callees []*types.Func
+	exempt bool
+	bumps  map[*types.TypeName]bool
+	writes []writeRec
 
 	obligations map[*types.TypeName]bool // memo for Rule B; anyGuard key for guard=any
 	visiting    bool
@@ -175,7 +179,7 @@ func run(pass *analysis.Pass, cfg Config) (any, error) {
 		fpVars:      make(map[types.Object]*types.TypeName),
 		fpNames:     make(map[types.Object]string),
 		mutators:    make(map[types.Object]bool),
-		declUnits:   make(map[*types.Func]*funcUnit),
+		unitOf:      make(map[*analysis.CallUnit]*funcUnit),
 	}
 	for _, p := range cfg.Packages {
 		if pass.Pkg.Path() == p {
@@ -189,12 +193,13 @@ func run(pass *analysis.Pass, cfg Config) (any, error) {
 	if len(c.counters) == 0 && len(c.fpVars) == 0 && len(c.mutators) == 0 {
 		return nil, nil // nothing registered: not a fingerprinted package
 	}
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
-				c.collectUnit(fd, nil)
-			}
-		}
+	// The engine discovers every body — declared functions AND literals,
+	// including literals in package-level var declarations that the old
+	// decl walk never reached — and resolves interface-dispatched and
+	// stored-func-value calls into the edges Rule B propagates over.
+	c.graph = analysis.BuildCallGraph(pass)
+	for _, cu := range c.graph.Units {
+		c.collectUnit(cu)
 	}
 	c.ruleA()
 	c.ruleB()
@@ -279,7 +284,7 @@ func (c *collector) registerAllowlist() {
 		member := entry[dot+1:]
 		slash := strings.LastIndexByte(pkgType, '.')
 		pkgPath, typeName := pkgType[:slash], pkgType[slash+1:]
-		pkg := findImport(c.pass.Pkg, pkgPath)
+		pkg := analysis.FindImport(c.pass.Pkg, pkgPath)
 		if pkg == nil {
 			return nil, "", false
 		}
@@ -326,56 +331,27 @@ func (c *collector) registerAllowlist() {
 	}
 }
 
-// findImport locates path among the package's transitive imports.
-func findImport(pkg *types.Package, path string) *types.Package {
-	seen := make(map[*types.Package]bool)
-	var walk func(p *types.Package) *types.Package
-	walk = func(p *types.Package) *types.Package {
-		if p.Path() == path {
-			return p
-		}
-		if seen[p] {
-			return nil
-		}
-		seen[p] = true
-		for _, imp := range p.Imports() {
-			if got := walk(imp); got != nil {
-				return got
-			}
-		}
-		return nil
-	}
-	return walk(pkg)
-}
-
-// collectUnit walks one function body, recording writes, bumps, and
-// same-package callees; nested literals become their own units.
-func (c *collector) collectUnit(decl *ast.FuncDecl, lit *ast.FuncLit) {
-	u := &funcUnit{decl: decl, lit: lit, bumps: make(map[*types.TypeName]bool)}
-	var body *ast.BlockStmt
-	if decl != nil {
-		body = decl.Body
-		if obj, ok := c.pass.TypesInfo.Defs[decl.Name].(*types.Func); ok {
-			u.obj = obj
-			c.declUnits[obj] = u
-		}
-		if _, ok := analysis.FindVerb(analysis.CommentGroupDirectives(decl.Doc), "fpexempt"); ok {
+// collectUnit walks one call-graph unit's body, recording writes and
+// bumps; nested literals are skipped (they are their own units).
+func (c *collector) collectUnit(cu *analysis.CallUnit) {
+	u := &funcUnit{cu: cu, bumps: make(map[*types.TypeName]bool)}
+	if cu.Decl != nil {
+		if _, ok := analysis.FindVerb(analysis.CommentGroupDirectives(cu.Decl.Doc), "fpexempt"); ok {
 			u.exempt = true
 		}
 	} else {
-		body = lit.Body
-		u.exempt = c.pass.Dirs.NodeHas(lit.Pos(), "fpexempt")
+		u.exempt = c.pass.Dirs.NodeHas(cu.Lit.Pos(), "fpexempt")
 	}
 	c.units = append(c.units, u)
+	c.unitOf[cu] = u
 
 	var stack []ast.Node
-	ast.Inspect(body, func(n ast.Node) bool {
+	ast.Inspect(cu.Body(), func(n ast.Node) bool {
 		if n == nil {
 			stack = stack[:len(stack)-1]
 			return true
 		}
-		if fl, ok := n.(*ast.FuncLit); ok {
-			c.collectUnit(nil, fl)
+		if fl, ok := n.(*ast.FuncLit); ok && fl != cu.Lit {
 			return false
 		}
 		stack = append(stack, n)
@@ -465,7 +441,8 @@ func (c *collector) recordWrite(u *funcUnit, lhs ast.Expr, stmt ast.Stmt) {
 }
 
 // recordCall classifies builtin mutations (copy/clear/delete into a
-// registered field) and registered mutator-method calls.
+// registered field) and registered mutator-method calls; call edges for
+// Rule B come from the call-graph engine, not from this walk.
 func (c *collector) recordCall(u *funcUnit, call *ast.CallExpr, stmt ast.Stmt) {
 	if id, ok := call.Fun.(*ast.Ident); ok {
 		switch id.Name {
@@ -476,9 +453,6 @@ func (c *collector) recordCall(u *funcUnit, call *ast.CallExpr, stmt ast.Stmt) {
 				}
 			}
 		}
-		if fn, ok := c.pass.TypesInfo.Uses[id].(*types.Func); ok && fn.Pkg() == c.pass.Pkg {
-			u.callees = append(u.callees, fn)
-		}
 		return
 	}
 	sel, ok := call.Fun.(*ast.SelectorExpr)
@@ -488,9 +462,6 @@ func (c *collector) recordCall(u *funcUnit, call *ast.CallExpr, stmt ast.Stmt) {
 	callee, _ := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
 	if callee == nil {
 		return
-	}
-	if callee.Pkg() == c.pass.Pkg {
-		u.callees = append(u.callees, callee)
 	}
 	if !c.mutators[callee] {
 		return
@@ -620,7 +591,7 @@ func (c *collector) bumpFix(w writeRec) *analysis.SuggestedFix {
 // entry points.
 func (c *collector) ruleB() {
 	for _, u := range c.units {
-		if u.decl == nil || u.obj == nil || !u.obj.Exported() || u.exempt {
+		if u.cu.Decl == nil || u.cu.Obj == nil || !u.cu.Obj.Exported() || u.exempt {
 			continue
 		}
 		obl := c.obligations(u)
@@ -636,9 +607,9 @@ func (c *collector) ruleB() {
 			}
 		}
 		sortStrings(names)
-		c.pass.Reportf(u.decl.Name.Pos(),
+		c.pass.Reportf(u.cu.Decl.Name.Pos(),
 			"exported %s reaches fingerprint-visible writes (guarded by %s) through exempted helpers without bumping a generation counter",
-			u.obj.Name(), strings.Join(names, ", "))
+			u.cu.Obj.Name(), strings.Join(names, ", "))
 	}
 }
 
@@ -666,12 +637,12 @@ func (c *collector) obligations(u *funcUnit) map[*types.TypeName]bool {
 			}
 		}
 	}
-	for _, callee := range u.callees {
-		cu := c.declUnits[callee]
-		if cu == nil {
+	for _, callee := range u.cu.Callees {
+		cv := c.unitOf[callee]
+		if cv == nil {
 			continue
 		}
-		for tn := range c.obligations(cu) {
+		for tn := range c.obligations(cv) {
 			out[tn] = true
 		}
 	}

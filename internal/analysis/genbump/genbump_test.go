@@ -144,37 +144,45 @@ func TestDetectsStrippedBumpStatespace(t *testing.T) {
 	}
 }
 
-// TestIfaceGapIsStillOpen pins the pass's documented blind spot with a
-// live fixture instead of prose alone: an interface-dispatched call to
-// an exempted mutator is NOT charged with the bump obligation, while
-// the statically-dispatched twin is. The fixture's want comments assert
-// today's behavior exactly — one rule-B finding on DirectCaller,
-// nothing on IfaceCaller.
-//
-// TODO(genbump): model interface dispatch (charge every same-package
-// implementation of an interface whose method set touches registered
-// state). When that lands, IfaceCaller gains a finding, this test's
-// count below goes to 2, and the fixture's TODO want comment moves.
-func TestIfaceGapIsStillOpen(t *testing.T) {
+// TestIfaceGapClosed is the closed-gap regression test for the carried
+// follow-up: the interface-dispatched call to an exempted mutator is now
+// charged with the bump obligation exactly like its statically-
+// dispatched twin. Exactly two rule-B findings — DirectCaller and
+// IfaceCaller — and none on BumpedIfaceCaller, which discharges the
+// obligation. If the engine regresses to static-only resolution, the
+// count drops to 1 and this test fails.
+func TestIfaceGapClosed(t *testing.T) {
 	findings := analysistest.Run(t, filepath.Join("testdata", "ifacegap"), genbump.Analyzer)
-	if len(findings) != 1 {
-		t.Fatalf("ifacegap fixture produced %d findings, want exactly 1 (the static-dispatch control):\n%s",
+	if len(findings) != 2 {
+		t.Fatalf("ifacegap fixture produced %d findings, want exactly 2 (static + interface dispatch):\n%s",
 			len(findings), render(findings))
 	}
-	pos := findings[0].Pkg.Fset.Position(findings[0].Diag.Pos)
-	if !strings.Contains(findings[0].Diag.Message, "DirectCaller") {
-		t.Errorf("the single finding should be DirectCaller's, got: %s", findings[0].Diag.Message)
+	var names []string
+	for _, f := range findings {
+		names = append(names, f.Diag.Message)
 	}
-	// The gap itself: nothing fires on IfaceCaller's line. If a finding
-	// ever lands there, the blind spot has been closed — update this
-	// test and the fixture to lock in the new, stronger behavior.
-	src, err := os.ReadFile(filepath.Join("testdata", "ifacegap", "ifacegap.go"))
-	if err != nil {
-		t.Fatal(err)
+	joined := strings.Join(names, "\n")
+	for _, fn := range []string{"DirectCaller", "IfaceCaller"} {
+		if !strings.Contains(joined, fn) {
+			t.Errorf("no rule-B finding on %s:\n%s", fn, joined)
+		}
 	}
-	ifaceLine := 1 + bytes.Count(src[:bytes.Index(src, []byte("func IfaceCaller"))], []byte("\n"))
-	if pos.Line == ifaceLine {
-		t.Fatalf("finding landed on IfaceCaller (line %d): the interface-dispatch gap closed — update this test", ifaceLine)
+	if strings.Contains(joined, "BumpedIfaceCaller") {
+		t.Errorf("BumpedIfaceCaller discharged its obligation but was flagged:\n%s", joined)
+	}
+}
+
+// TestClosureGapClosed pins the stored-closure half: the func-valued
+// struct field's bound literal charges its obligation to every caller of
+// the field.
+func TestClosureGapClosed(t *testing.T) {
+	findings := analysistest.Run(t, filepath.Join("testdata", "closuregap"), genbump.Analyzer)
+	if len(findings) != 1 {
+		t.Fatalf("closuregap fixture produced %d findings, want exactly 1 (ClosureCaller):\n%s",
+			len(findings), render(findings))
+	}
+	if !strings.Contains(findings[0].Diag.Message, "ClosureCaller") {
+		t.Errorf("the finding should be ClosureCaller's, got: %s", findings[0].Diag.Message)
 	}
 }
 

@@ -1,0 +1,41 @@
+// Package closuregap pins the second half of the carried follow-up: a
+// fingerprint-visible write reached only through a stored closure — a
+// func-valued struct field bound at a composite-literal construction
+// site. The call-graph engine charges the bound literal's obligation to
+// every caller of the field, so ClosureCaller is flagged while
+// BumpedClosureCaller (which bumps first) stays clean.
+package closuregap
+
+// Counter carries fingerprint-visible state guarded by gen.
+type Counter struct {
+	data []uint64 //multicube:fpfield
+
+	//multicube:gencounter
+	gen uint64
+}
+
+// applier stores the mutation as a func value; calls through apply were
+// invisible to the old static-only rule B.
+type applier struct {
+	apply func(c *Counter)
+}
+
+var rawApply = applier{
+	//multicube:fpexempt callers own the generation bump
+	apply: func(c *Counter) {
+		c.data[0]++
+	},
+}
+
+// ClosureCaller reaches the exempted literal through the stored field
+// and is charged with its undischarged bump obligation.
+func ClosureCaller(c *Counter) { // want `exported ClosureCaller reaches fingerprint-visible writes`
+	rawApply.apply(c)
+}
+
+// BumpedClosureCaller discharges the obligation by bumping before the
+// stored call, the pattern the protocol entry points use.
+func BumpedClosureCaller(c *Counter) {
+	c.gen++
+	rawApply.apply(c)
+}

@@ -1,10 +1,11 @@
-// Package ifacegap pins down genbump's accepted blind spot: a
+// Package ifacegap pins genbump's formerly-open blind spot closed: a
 // fingerprint-visible write reached only through an interface-dispatched
-// call. Rule B's obligation propagation walks static same-package calls,
-// so DirectCaller below is flagged while IfaceCaller — the same
-// mutation, same package, same missing bump — is not. The fixture keeps
-// the gap visible: the day the pass models interface dispatch,
-// IfaceCaller starts needing a want comment and this file fails loudly.
+// call. Rule B's obligation propagation runs over the shared call-graph
+// engine, which charges every same-package implementation of a
+// dispatched method set — so IfaceCaller below is flagged exactly like
+// its statically-dispatched twin DirectCaller. If the engine ever
+// regresses to static-only resolution, IfaceCaller's want comment fails
+// loudly.
 package ifacegap
 
 // Counter carries fingerprint-visible state guarded by gen.
@@ -15,8 +16,8 @@ type Counter struct {
 	gen uint64
 }
 
-// mutator abstracts the state change; calls through it are invisible to
-// rule B's static call graph.
+// mutator abstracts the state change; the engine resolves calls through
+// it to every same-package implementation.
 type mutator interface {
 	Mutate(c *Counter)
 }
@@ -35,19 +36,15 @@ func DirectCaller(c *Counter) { // want `exported DirectCaller reaches fingerpri
 }
 
 // IfaceCaller performs the identical mutation through an interface
-// value and is NOT flagged today.
-//
-// TODO(genbump): once interface dispatch is modeled (e.g. by charging
-// every same-package implementation of a method set that touches
-// registered state), this function must be flagged like DirectCaller;
-// move the want comment here and update TestIfaceGapIsStillOpen.
-func IfaceCaller(c *Counter, m mutator) {
+// value; the method-set resolution charges rawMutator.Mutate's
+// obligation to it, closing the gap the old fixture kept visible.
+func IfaceCaller(c *Counter, m mutator) { // want `exported IfaceCaller reaches fingerprint-visible writes`
 	m.Mutate(c)
 }
 
 // BumpedIfaceCaller shows the sound usage pattern the convention relies
-// on: entry points bump unconditionally, so the invisible call is
-// harmless.
+// on: entry points bump unconditionally, discharging the dispatched
+// obligation.
 func BumpedIfaceCaller(c *Counter, m mutator) {
 	c.gen++
 	m.Mutate(c)

@@ -1,0 +1,285 @@
+// Package inclusion enforces the multilevel-inclusion discipline of the
+// two-level Multicube cache hierarchy (paper Section 3): the processor
+// caches above a snooping cache may only hold lines the snooping cache
+// holds, so every statement that evicts a snooping-cache line — an
+// Invalidate, a Drop, or an Insert that may displace a victim — must be
+// followed, in the same function, by a call that reaches a purge of the
+// registered upper-level views. This is the static mirror of invariant 6
+// in internal/coherence/invariants.go (CheckInvariants), which catches
+// the same omission dynamically but only on states a simulation actually
+// visits; the pass catches it on every path at vet time.
+//
+// Scope and registration:
+//
+//   - Packages opt in with a //multicube:inclusion marker (any file,
+//     conventionally the package doc). Unmarked packages — e.g.
+//     internal/singlebus, whose machine has no upper level — are
+//     skipped entirely.
+//   - Evictors are the cross-package cache mutators listed in Config
+//     (cache.Cache.Invalidate, .Drop, .Insert by default).
+//   - A purge target is a same-package function annotated
+//     //multicube:inclusion-purge. A call discharges an eviction when
+//     the call-graph engine shows it can reach a purge target, so
+//     wrappers like notifyInvalidate (which stamps snarf-staleness
+//     timestamps before purging) count without their own annotation.
+//
+// The discharge check is positional, not path-sensitive: a purge-
+// reaching call anywhere after the eviction in the same body (nested
+// literals excluded — they may never run) satisfies the rule. That keeps
+// the pass simple and matches the repository idiom of purging
+// immediately after the eviction; a conditional purge on a different
+// branch than the eviction would be accepted, which is the pass's
+// accepted imprecision.
+//
+// Where the eviction is a single-argument call on a cache field
+// (n.l2.Invalidate(line)), the finding carries a mechanical fix
+// appending `; n.<purge>(line)` for the owning struct's purge method.
+// Deliberate exceptions — evictions whose upper level is cleared some
+// other way, or that precede machine teardown — are annotated
+// //multicube:inclusion-ok <reason> on or above the statement, or on the
+// enclosing function's doc comment.
+package inclusion
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"multicube/internal/analysis"
+)
+
+// Config lists the evictor registration table.
+type Config struct {
+	// Evictors are cross-package methods, "pkgpath.Type.Method", whose
+	// call may remove or displace a line of the snooping cache.
+	Evictors []string
+}
+
+// DefaultConfig registers the substrate cache's evicting mutators.
+var DefaultConfig = Config{
+	Evictors: []string{
+		"multicube/internal/cache.Cache.Invalidate",
+		"multicube/internal/cache.Cache.Drop",
+		"multicube/internal/cache.Cache.Insert",
+	},
+}
+
+// Analyzer is the pass with the repository's default configuration.
+var Analyzer = New(DefaultConfig)
+
+// New builds an inclusion analyzer for the given evictor table.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "inclusion",
+		Doc:  "snooping-cache evictions must reach an upper-level purge on a same-function path",
+		Run:  func(pass *analysis.Pass) (any, error) { return run(pass, cfg) },
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) (any, error) {
+	if !pass.Dirs.PackageMarked("inclusion") {
+		return nil, nil
+	}
+	evictors := make(map[*types.Func]bool)
+	for _, entry := range cfg.Evictors {
+		if fn := analysis.ResolveMethod(pass.Pkg, entry); fn != nil {
+			evictors[fn] = true
+		}
+	}
+	if len(evictors) == 0 {
+		return nil, nil
+	}
+	graph := analysis.BuildCallGraph(pass)
+	purges := purgeUnits(pass, graph)
+	for _, u := range graph.Units {
+		checkUnit(pass, graph, u, evictors, purges)
+	}
+	return nil, nil
+}
+
+// purgeUnits collects the //multicube:inclusion-purge-annotated units.
+func purgeUnits(pass *analysis.Pass, graph *analysis.CallGraph) map[*analysis.CallUnit]bool {
+	out := make(map[*analysis.CallUnit]bool)
+	for _, u := range graph.Units {
+		if u.Decl != nil {
+			if _, ok := analysis.FindVerb(analysis.CommentGroupDirectives(u.Decl.Doc), "inclusion-purge"); ok {
+				out[u] = true
+			}
+		} else if pass.Dirs.NodeHas(u.Lit.Pos(), "inclusion-purge") {
+			out[u] = true
+		}
+	}
+	return out
+}
+
+// evictSite is one registered eviction call awaiting discharge.
+type evictSite struct {
+	call *ast.CallExpr
+	stmt ast.Stmt
+	fn   *types.Func
+}
+
+// checkUnit flags evictions in one body with no later purge-reaching
+// call.
+func checkUnit(pass *analysis.Pass, graph *analysis.CallGraph, u *analysis.CallUnit, evictors map[*types.Func]bool, purges map[*analysis.CallUnit]bool) {
+	funcExempt := false
+	if u.Decl != nil {
+		if _, ok := analysis.FindVerb(analysis.CommentGroupDirectives(u.Decl.Doc), "inclusion-ok"); ok {
+			funcExempt = true
+		}
+	} else if pass.Dirs.NodeHas(u.Lit.Pos(), "inclusion-ok") {
+		funcExempt = true
+	}
+	if funcExempt {
+		return
+	}
+
+	reachesPurge := func(call *ast.CallExpr) bool {
+		for _, callee := range graph.CalleesAt(call) {
+			if graph.Reaches(callee, func(v *analysis.CallUnit) bool { return purges[v] }) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var evicts []evictSite
+	var dischargePos []token.Pos
+	var stack []ast.Node
+	ast.Inspect(u.Body(), func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if lit, ok := n.(*ast.FuncLit); ok && lit != u.Lit {
+			return false // nested literals are their own units
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && evictors[fn] {
+				evicts = append(evicts, evictSite{call: call, stmt: enclosingStmt(stack), fn: fn})
+				return true
+			}
+		}
+		if reachesPurge(call) {
+			dischargePos = append(dischargePos, call.Pos())
+		}
+		return true
+	})
+
+	for _, ev := range evicts {
+		discharged := false
+		for _, p := range dischargePos {
+			if p > ev.call.Pos() {
+				discharged = true
+				break
+			}
+		}
+		if discharged {
+			continue
+		}
+		annotated := pass.Dirs.NodeHas(ev.call.Pos(), "inclusion-ok")
+		if !annotated && ev.stmt != nil {
+			annotated = pass.Dirs.NodeHas(ev.stmt.Pos(), "inclusion-ok")
+		}
+		if annotated {
+			continue
+		}
+		d := analysis.Diagnostic{
+			Pos: ev.call.Pos(),
+			Message: fmt.Sprintf(
+				"snooping-cache eviction via %s does not reach an upper-level purge on a same-function path (call the //multicube:inclusion-purge helper after it, or annotate //multicube:inclusion-ok with a reason)",
+				ev.fn.Name()),
+		}
+		if fix := purgeFix(pass, graph, ev); fix != nil {
+			d.SuggestedFixes = []analysis.SuggestedFix{*fix}
+		}
+		pass.Report(d)
+	}
+}
+
+// enclosingStmt returns the innermost statement on the walk stack.
+func enclosingStmt(stack []ast.Node) ast.Stmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if s, ok := stack[i].(ast.Stmt); ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// purgeFix builds the mechanical `; <recv>.<purge>(<line>)` insertion
+// after the eviction statement, when the eviction is a single-argument
+// call on a cache-valued field (n.l2.Invalidate(line)) and the field's
+// owning type has an annotated purge method.
+func purgeFix(pass *analysis.Pass, graph *analysis.CallGraph, ev evictSite) *analysis.SuggestedFix {
+	if len(ev.call.Args) != 1 || ev.stmt == nil {
+		return nil
+	}
+	sel, ok := ev.call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	field, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	recv := field.X
+	tv, ok := pass.TypesInfo.Types[recv]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	purge := purgeMethodOf(pass, graph, named.Obj())
+	if purge == "" {
+		return nil
+	}
+	recvSrc := types.ExprString(recv)
+	argSrc := types.ExprString(ev.call.Args[0])
+	insert := fmt.Sprintf("; %s.%s(%s)", recvSrc, purge, argSrc)
+	return &analysis.SuggestedFix{
+		Message: fmt.Sprintf("insert %s.%s(%s) after the eviction", recvSrc, purge, argSrc),
+		TextEdits: []analysis.TextEdit{{
+			Pos:     ev.stmt.End(),
+			End:     ev.stmt.End(),
+			NewText: []byte(insert),
+		}},
+	}
+}
+
+// purgeMethodOf finds the inclusion-purge-annotated method declared on
+// tn, if any.
+func purgeMethodOf(pass *analysis.Pass, graph *analysis.CallGraph, tn *types.TypeName) string {
+	for _, u := range graph.Units {
+		if u.Decl == nil || u.Decl.Recv == nil || u.Obj == nil {
+			continue
+		}
+		if _, ok := analysis.FindVerb(analysis.CommentGroupDirectives(u.Decl.Doc), "inclusion-purge"); !ok {
+			continue
+		}
+		sig, ok := u.Obj.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		rt := sig.Recv().Type()
+		if p, ok := rt.Underlying().(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok && named.Obj() == tn {
+			return u.Obj.Name()
+		}
+	}
+	return ""
+}

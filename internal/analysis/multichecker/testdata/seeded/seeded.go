@@ -4,9 +4,16 @@
 // "fails on a seeded violation" half of the CI-gate contract.
 //
 //multicube:deterministic
+//multicube:inclusion
+//multicube:durable
 package seeded
 
-import "time"
+import (
+	"os"
+	"time"
+
+	"multicube/internal/cache"
+)
 
 type state struct {
 	vals []uint64 //multicube:fpfield
@@ -33,4 +40,16 @@ func keys(m map[int]int) []int {
 
 func spawn(f func()) {
 	go f() // chooserseam: goroutine outside the seam
+}
+
+type hier struct {
+	l2 *cache.Cache
+}
+
+func (h *hier) evict(line cache.Line) {
+	h.l2.Invalidate(line) // inclusion: eviction never reaches an upper-level purge
+}
+
+func persist(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // atomicwrite: durable write lands in place
 }

@@ -1,0 +1,55 @@
+// Package callgraph exercises every call shape the engine resolves: the
+// unit test walks the edges this file induces.
+package callgraph
+
+var hits int
+
+func target() { hits++ }
+
+// static dispatch: a plain same-package call.
+func static() { target() }
+
+// doer is dispatched through an interface value; the engine charges both
+// same-package implementations.
+type doer interface{ Do() }
+
+type implA struct{}
+
+func (implA) Do() { target() }
+
+type implB struct{}
+
+func (*implB) Do() {}
+
+func viaIface(d doer) { d.Do() }
+
+// holder carries a func-valued field bound at a composite-literal
+// construction site.
+type holder struct{ fn func() }
+
+var pkgHolder = holder{fn: func() { target() }}
+
+func viaField() { pkgHolder.fn() }
+
+// viaLocalVar calls through a local variable bound to a declared
+// function.
+func viaLocalVar() {
+	f := target
+	f()
+}
+
+// viaLit calls a stored literal, which itself calls target.
+func viaLit() {
+	g := func() { target() }
+	g()
+}
+
+// viaParam receives the func value as a parameter: deliberately outside
+// the soundness boundary, no edge.
+func viaParam(f func()) { f() }
+
+// viaMethodValue stores a concrete method value in a local.
+func viaMethodValue(a implA) {
+	m := a.Do
+	m()
+}

@@ -1,8 +1,13 @@
 // The package participates in the explorer's determinism contract: no
 // wall clock, no map-order dependence, no scheduling outside the chooser
-// seam. multicube-vet enforces this (see internal/analysis).
+// seam. multicube-vet enforces this (see internal/analysis). It also
+// carries the two-level hierarchy's multilevel-inclusion discipline:
+// every snooping-cache eviction must purge the registered upper-level
+// (processor cache) views, statically enforced by the vet inclusion pass
+// against purgeUpper and dynamically by CheckInvariants invariant 6.
 //
 //multicube:deterministic
+//multicube:inclusion
 package coherence
 
 import (
@@ -437,6 +442,19 @@ func (n *Node) matchesPending(op *Op) bool {
 // timestamps the departure for snarf staleness checks.
 func (n *Node) notifyInvalidate(line cache.Line) {
 	n.purgedAt[line] = n.k.Now()
+	n.purgeUpper(line)
+}
+
+// purgeUpper drops the line from the registered upper-level (processor
+// cache) views, maintaining multilevel inclusion. Split from
+// notifyInvalidate for eviction paths that must not stamp purgedAt —
+// after a Drop the entry leaves the cache entirely, so the snarf
+// staleness gate (which requires a retained Invalid entry) never
+// consults the timestamp, and stamping would perturb fingerprints for
+// nothing.
+//
+//multicube:inclusion-purge
+func (n *Node) purgeUpper(line cache.Line) {
 	if n.OnInvalidate != nil {
 		n.OnInvalidate(line)
 	}

@@ -124,6 +124,13 @@ func (n *Node) failPending(op *Op) {
 		if e := n.l2.Probe(op.Line); e != nil && e.State == Reserved {
 			e.Pinned = false
 			n.l2.Drop(op.Line)
+			// The processor cache may still hold the line from before the
+			// reserved copy overwrote it (a prior shared read); dropping
+			// only the snooping copy would break multilevel inclusion.
+			// purgeUpper, not notifyInvalidate: the entry is gone, so the
+			// snarf staleness stamp is unreachable and stamping it would
+			// shift fingerprints.
+			n.purgeUpper(op.Line)
 		}
 		res.MustSpin = true
 	}

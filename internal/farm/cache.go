@@ -11,7 +11,12 @@
 // The package splits into the deterministic spec/result encoding
 // (subpackage jobspec, vet-enforced) and this server runtime, which
 // legitimately uses the wall clock and goroutines and is therefore
-// deliberately NOT marked //multicube:deterministic.
+// deliberately NOT marked //multicube:deterministic. The disk tiers
+// (result cache, corpus, job checkpoints) are durable state, so the
+// package IS marked for multicube-vet's atomicwrite pass: writers must
+// use temp+sync+rename, deletes must name their retention rule.
+//
+//multicube:durable
 package farm
 
 import (
@@ -118,6 +123,7 @@ func (c *Cache) sweep() (int, int64, error) {
 				bytes += fi.Size()
 			}
 		case strings.Contains(d.Name(), ".tmp"):
+			//multicube:atomicwrite-ok temp droppings from writers killed mid-Put; never renamed, so never durable
 			os.Remove(path)
 		}
 		return nil
@@ -160,6 +166,7 @@ func (c *Cache) Get(fp string) (data []byte, tier string, ok bool) {
 	}
 	var r jobspec.Result
 	if err := json.Unmarshal(b, &r); err != nil || r.Validate() != nil || r.Fingerprint != fp {
+		//multicube:atomicwrite-ok corrupt entry: cache loss only costs a re-run, and keeping it would re-fail every Get
 		if os.Remove(c.path(fp)) == nil {
 			c.mu.Lock()
 			c.onDisk--
@@ -192,6 +199,11 @@ func (c *Cache) Put(fp string, data []byte) error {
 		return fmt.Errorf("farm: cache put: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("farm: cache put: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("farm: cache put: %w", err)
@@ -276,6 +288,7 @@ func (c *Cache) evict(now time.Time) {
 			// and the running total only shrinks (not over budget). Done.
 			break
 		}
+		//multicube:atomicwrite-ok LRU/age eviction: a cache entry's loss only costs recomputation
 		if os.Remove(e.path) == nil {
 			removed++
 			removedBytes += e.size

@@ -102,6 +102,11 @@ func (c *Corpus) Add(e CorpusEntry) (bool, error) {
 			os.Remove(tmp.Name())
 			return false, fmt.Errorf("farm: corpus add: %w", err)
 		}
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return false, fmt.Errorf("farm: corpus add: %w", err)
+		}
 		if err := tmp.Close(); err != nil {
 			os.Remove(tmp.Name())
 			return false, fmt.Errorf("farm: corpus add: %w", err)

@@ -109,6 +109,7 @@ func (x *executor) runMC(ctx context.Context, spec *jobspec.MCSpec, res *jobspec
 		// The completed result supersedes the checkpoint (it will be
 		// cached under the same fingerprint); canceled jobs keep theirs
 		// so resubmission resumes.
+		//multicube:atomicwrite-ok the cached result under the same fingerprint supersedes the checkpoint
 		os.RemoveAll(ckdir)
 	}
 	res.MC = &jobspec.MCResult{Result: r}

@@ -160,6 +160,14 @@ func (s *Store) WriteCheckpoint(meta Meta, frontier []FrontierItem) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("statespace: manifest: %w", err)
 	}
+	// Flush to stable storage before the rename publishes the name: an
+	// unsynced rename can surface a complete-looking manifest with torn
+	// contents after a crash, and resume trusts whatever validates.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("statespace: manifest: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("statespace: manifest: %w", err)
@@ -198,6 +206,7 @@ func (s *Store) gc(keep map[string]bool) error {
 				continue
 			}
 			if strings.HasSuffix(name, runSuffix) || strings.HasSuffix(name, frontierSuffix) {
+				//multicube:atomicwrite-ok manifest-pinned: keep holds every file the renamed manifest references
 				if err := os.Remove(filepath.Join(dir, name)); err != nil {
 					return fmt.Errorf("statespace: gc: %w", err)
 				}
@@ -326,6 +335,11 @@ func writeFrontier(path string, items []FrontierItem) (uint64, error) {
 		return 0, fmt.Errorf("statespace: frontier: %w", err)
 	}
 	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("statespace: frontier: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return 0, fmt.Errorf("statespace: frontier: %w", err)

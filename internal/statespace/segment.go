@@ -102,6 +102,11 @@ func writeRun(dir string, shard int, seq uint64, ents []runEnt) (*run, error) {
 		os.Remove(tmp.Name())
 		return nil, fmt.Errorf("statespace: spill: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("statespace: spill: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return nil, fmt.Errorf("statespace: spill: %w", err)
@@ -265,6 +270,7 @@ func (r *run) remove() error {
 	if err := r.close(); err != nil {
 		return err
 	}
+	//multicube:atomicwrite-ok compaction/Reset retire runs already unreferenced by the manifest (or re-gc'd on the next checkpoint)
 	if err := os.Remove(r.path); err != nil && !os.IsNotExist(err) {
 		return err
 	}

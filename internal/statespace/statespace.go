@@ -25,7 +25,12 @@
 // hot-tier mutation bumps the shard generation the checkpoint dirtiness
 // test relies on.
 //
+// Checkpoint files are durable state: multicube-vet's atomicwrite pass
+// holds every writer here to the temp+sync+rename shape and every
+// delete to the manifest-pin discipline.
+//
 //multicube:deterministic
+//multicube:durable
 package statespace
 
 import (
@@ -189,6 +194,7 @@ func sweepStale(dir string) error {
 		}
 		if strings.HasSuffix(name, runSuffix) || strings.HasSuffix(name, frontierSuffix) ||
 			strings.Contains(name, ".tmp") || name == manifestName {
+			//multicube:atomicwrite-ok fresh store: the caller starts from scratch, so nothing here is pinned
 			if err := os.Remove(filepath.Join(dir, name)); err != nil {
 				return fmt.Errorf("statespace: sweep: %w", err)
 			}
